@@ -1,0 +1,34 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper.  The
+value being measured is *simulated* time (who wins, by what factor);
+``benchmark()`` wraps the simulation run so the harness also tracks
+host-side cost, and the reproduced rows/series are printed and attached
+to ``benchmark.extra_info``.
+"""
+
+import pytest
+
+
+def record(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    box = {}
+
+    def wrapper():
+        box["result"] = fn(*args, **kwargs)
+        return box["result"]
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1)
+    return box["result"]
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a report block that survives pytest's capture (-s not needed)."""
+
+    def _emit(title: str, body: str):
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print(body)
+
+    return _emit

@@ -1,0 +1,95 @@
+"""Table II: the UNR support level of high-performance NICs.
+
+Regenerates the custom-bit matrix and the derived support level for
+every interface adapter, and verifies each adapter actually *enforces*
+its widths on the wire.
+"""
+
+import pytest
+
+from conftest import record
+from repro.bench import format_table
+from repro.core import Unr
+from repro.interconnect import (
+    CHANNEL_TYPES,
+    ChannelError,
+    TABLE_II,
+    make_channel,
+    support_level,
+)
+from repro.netsim import Cluster, ClusterSpec, NicSpec, NodeSpec
+from repro.runtime import Job
+from repro.sim import Environment
+
+PAPER_LEVELS = {"glex": 3, "verbs": 2, "utofu": 1, "ugni": 2, "pami": 2, "portals": 3}
+
+
+def make_job():
+    env = Environment()
+    spec = ClusterSpec(
+        "t", 2, NodeSpec(cores=2), NicSpec(bandwidth_gbps=100, latency_us=1.0)
+    )
+    return Job(Cluster(env, spec))
+
+
+def test_table2_report(benchmark, emit):
+    def build():
+        rows = []
+        for name, cap in TABLE_II.items():
+            rows.append(
+                [
+                    cap.interface,
+                    cap.interconnect,
+                    cap.display("put_local"),
+                    cap.display("put_remote"),
+                    cap.display("get_local"),
+                    cap.display("get_remote"),
+                    f"Level-{support_level(cap)}",
+                ]
+            )
+        return rows
+
+    rows = record(benchmark, build)
+    emit(
+        "Table II: UNR support level of high-performance NICs",
+        format_table(
+            ["interface", "interconnect", "PUT local", "PUT remote", "GET local", "GET remote", "level"],
+            rows,
+        ),
+    )
+    got = {r[0].lower(): int(r[6][-1]) for r in rows}
+    assert got == PAPER_LEVELS
+
+
+@pytest.mark.parametrize("name", sorted(CHANNEL_TYPES))
+def test_adapter_enforces_width(benchmark, name):
+    """Each adapter rejects custom bits wider than its hardware field."""
+    job = make_job()
+
+    def run():
+        ch = make_channel(name, job)
+        bits = ch.capability.effective_put_remote
+        if bits > 0:
+            ch.put(0, 1, 8, remote_custom=(1 << bits) - 1)  # fits
+        try:
+            ch.put(0, 1, 8, remote_custom=1 << max(bits, 1))
+            return False  # should have raised
+        except ChannelError:
+            return True
+
+    assert record(benchmark, run)
+
+
+@pytest.mark.parametrize("name", sorted(CHANNEL_TYPES))
+def test_unr_auto_configures_from_adapter(benchmark, name):
+    """UNR derives its level/encoding purely from the adapter."""
+    job = make_job()
+
+    def run():
+        unr = Unr(job, name)
+        return unr.level, unr.sid_capacity
+
+    level, capacity = record(benchmark, run)
+    assert level == PAPER_LEVELS[name]
+    if name == "utofu":
+        assert capacity == 256  # 8-bit pointer: "maximum number of signals is limited"

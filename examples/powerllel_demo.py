@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""PowerLLEL mini-app: MPI baseline vs UNR, with real numerics.
+
+Runs the incompressible-flow pressure-Poisson pipeline (RK2 velocity
+update + FFT/PDD Poisson solve + projection) on a 2x2 pencil grid over
+4 simulated TH-2A nodes, in both backends, and checks:
+
+* the two backends produce bit-identical fields;
+* the discrete projection drives the velocity divergence to machine
+  zero;
+* the UNR backend's sync-free pipeline is faster.
+
+Run:  python examples/powerllel_demo.py
+"""
+
+import numpy as np
+
+from repro.platforms import make_job
+from repro.powerllel import (
+    PowerLLELConfig,
+    SerialReference,
+    gather_fields,
+    run_powerllel,
+)
+
+CFG = PowerLLELConfig(
+    nx=32, ny=24, nz=32, py=2, pz=2, steps=3,
+    lengths=(1.0, 1.0, 8.0), pipeline_slabs=2,
+)
+
+
+def main() -> None:
+    print(f"PowerLLEL {CFG.nx}x{CFG.ny}x{CFG.nz} grid, "
+          f"{CFG.py}x{CFG.pz} pencil decomposition, {CFG.steps} RK2 steps\n")
+
+    results = {}
+    for backend in ("mpi", "unr"):
+        job = make_job("th-2a", n_nodes=CFG.n_ranks)
+        res = run_powerllel(job, CFG, backend=backend)
+        results[backend] = res
+        p = res["phases"]
+        print(f"[{backend:3s}] simulated time {res['time'] * 1e3:7.3f} ms   "
+              f"vel={p['vel_update'] * 1e3:6.3f}  ppe={p['ppe'] * 1e3:6.3f}  "
+              f"other={p['other'] * 1e3:6.3f}   max|div u|={res['max_divergence']:.2e}")
+
+    speedup = results["mpi"]["time"] / results["unr"]["time"]
+    print(f"\nUNR speedup over the MPI baseline: {speedup:.2f}x")
+
+    # Cross-validation: backends agree bitwise; both match the serial
+    # single-process reference.
+    fa = gather_fields(results["mpi"]["ranks"], CFG)
+    fb = gather_fields(results["unr"]["ranks"], CFG)
+    for name in ("u", "v", "w", "p"):
+        np.testing.assert_array_equal(fa[name], fb[name])
+    ref = SerialReference(CFG.nx, CFG.ny, CFG.nz, lengths=CFG.lengths)
+    for _ in range(CFG.steps):
+        ref.step()
+    err = np.abs(fa["u"] - ref.u[:, 1:-1, 1:-1]).max()
+    print(f"backends agree bitwise; max |u - serial reference| = {err:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Code 2 — two-sided send/recv turned into a
+notified one-sided PUT.
+
+Two ranks on a simulated InfiniBand cluster.  The receiver registers
+its buffer, binds a signal to the receive block, ships the transportable
+BLK handle to the sender, and from then on every iteration is a single
+UNR_Put: the receiver's signal fires when the data is fully delivered —
+no tags, no matching, no window synchronization.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import Unr
+from repro.platforms import make_job
+from repro.runtime import run_job
+
+SIZE = 64 * 1024
+ITERS = 5
+
+
+def main() -> None:
+    job = make_job("hpc-ib", n_nodes=2)
+    unr = Unr(job, "verbs")  # Level-2 Notifiable RMA Primitives
+    print(f"UNR on {job.cluster.spec.name}: channel={unr.channel.name}, "
+          f"support level {unr.level}, N={unr.n_bits}")
+
+    def sender(ctx):
+        ep = unr.endpoint(ctx.rank)
+        send_buf = np.zeros(SIZE, dtype=np.uint8)
+        mr = ep.mem_reg(send_buf)                      # UNR_Mem_Reg
+        send_sig = ep.sig_init(1)                      # UNR_Sig_Init(1)
+        send_blk = ep.blk_init(mr, 0, SIZE, signal=send_sig)
+        rmt_blk = yield from ep.recv_ctl(1, tag="addr")  # get receive address
+        for it in range(ITERS):
+            send_buf[:] = it + 1
+            ep.put(send_blk, rmt_blk)                  # UNR_Put
+            yield from ep.sig_wait(send_sig)           # buffer reusable
+            ep.sig_reset(send_sig)
+            # Pre-synchronization for the next iteration rides the
+            # receiver's acknowledgement (paper §V-A).
+            yield from ep.recv_ctl(1, tag="ready")
+        print(f"[sender]   done at t={ctx.env.now * 1e6:.2f} us")
+
+    def receiver(ctx):
+        ep = unr.endpoint(ctx.rank)
+        recv_buf = np.zeros(SIZE, dtype=np.uint8)
+        mr = ep.mem_reg(recv_buf)
+        recv_sig = ep.sig_init(1)
+        recv_blk = ep.blk_init(mr, 0, SIZE, signal=recv_sig)
+        yield from ep.send_ctl(0, recv_blk, tag="addr")  # publish my BLK
+        for it in range(ITERS):
+            yield from ep.sig_wait(recv_sig)           # data is complete
+            assert (recv_buf == it + 1).all()
+            print(f"[receiver] iteration {it}: {SIZE} bytes of "
+                  f"{recv_buf[0]} at t={ctx.env.now * 1e6:.2f} us")
+            ep.sig_reset(recv_sig)                     # buffer ready again
+            yield from ep.send_ctl(0, "go", tag="ready")
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from sender(ctx)
+        else:
+            yield from receiver(ctx)
+
+    run_job(job, program)
+    print(f"stats: {dict(unr.stats)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Benchmark harness: drivers for every paper table and figure."""
+
+from .latency import DEFAULT_SIZES, latency_table, mpi_rma_pingpong, unr_pingpong
+from .multinic import aggregation_sweep, imbalance_sweep, pingpong_with_calc
+from .powerllel_bench import (
+    FIG6_GRIDS,
+    FIG7_SERIES,
+    fig6_platform,
+    fig6_polling_study,
+    fig7_scaling,
+    powerllel_point,
+)
+from .report import format_series, format_size, format_table
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "FIG6_GRIDS",
+    "FIG7_SERIES",
+    "aggregation_sweep",
+    "fig6_platform",
+    "fig6_polling_study",
+    "fig7_scaling",
+    "format_series",
+    "format_size",
+    "format_table",
+    "imbalance_sweep",
+    "latency_table",
+    "mpi_rma_pingpong",
+    "pingpong_with_calc",
+    "powerllel_point",
+    "unr_pingpong",
+]

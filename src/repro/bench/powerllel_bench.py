@@ -1,0 +1,174 @@
+"""Figure 6/7 drivers: PowerLLEL on the four platforms.
+
+Figure 6 — per-platform speedup of UNR over the MPI baseline, the
+UNR-fallback channel, and the polling-thread configurations on HPC-IB.
+Figure 7 — strong scaling on TH-2A (12→192 nodes) and TH-XY
+(288→1728 nodes) with the velocity-update / PPE time breakdown.
+
+Runs use ``mode='model'`` (virtual buffers + cost model): message sizes
+and compute charges come from the configured grid, so the timing is
+what a real run of that grid would see on the simulated hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core import PollingConfig, Unr
+from ..interconnect import MpiFallbackChannel
+from ..platforms import get_platform, make_job
+from ..powerllel import PowerLLELConfig, run_powerllel
+
+__all__ = [
+    "FIG6_GRIDS",
+    "powerllel_point",
+    "fig6_platform",
+    "fig7_scaling",
+]
+
+#: Per-platform grids "tailored to fit within the memory constraints of
+#: each system" (paper §VI-C), scaled to our node counts.
+FIG6_GRIDS = {
+    "th-xy": dict(nx=1152, ny=1152, nz=864, nodes=48, py=8, pz=6),
+    "th-2a": dict(nx=768, ny=768, nz=576, nodes=48, py=8, pz=6),
+    "hpc-ib": dict(nx=576, ny=576, nz=432, nodes=24, py=6, pz=4),
+    "hpc-roce": dict(nx=384, ny=384, nz=288, nodes=12, py=4, pz=3),
+}
+
+
+def powerllel_point(
+    platform: str,
+    *,
+    nodes: int,
+    py: int,
+    pz: int,
+    nx: int,
+    ny: int,
+    nz: int,
+    backend: str = "mpi",
+    fallback: bool = False,
+    polling: Optional[PollingConfig] = None,
+    threads: Optional[int] = None,
+    steps: int = 2,
+    pipeline_slabs: int = 4,
+    seed: int = 0xC0FFEE,
+) -> Dict:
+    """One PowerLLEL run on ``platform``; returns time + phase breakdown."""
+    plat = get_platform(platform)
+    job = make_job(platform, nodes, seed=seed)
+    cfg = PowerLLELConfig(
+        nx=nx, ny=ny, nz=nz, py=py, pz=pz, steps=steps, mode="model",
+        pipeline_slabs=pipeline_slabs, threads=threads, lengths=(1.0, 1.0, 8.0),
+    )
+    if backend == "mpi":
+        return run_powerllel(job, cfg, backend="mpi", mpi_config=plat.mpi)
+    unr_channel = plat.channel
+    unr_kwargs = {}
+    if fallback:
+        unr = Unr(job, MpiFallbackChannel(job, plat.fallback), polling=polling)
+    else:
+        unr = Unr(job, unr_channel, polling=polling, **unr_kwargs)
+    return run_powerllel(job, cfg, backend="unr", unr=unr)
+
+
+def fig6_platform(platform: str, steps: int = 2) -> Dict[str, Dict]:
+    """Figure 6 bars for one platform: baseline, UNR, UNR-fallback."""
+    grid = FIG6_GRIDS[platform]
+    base = dict(
+        nodes=grid["nodes"], py=grid["py"], pz=grid["pz"],
+        nx=grid["nx"], ny=grid["ny"], nz=grid["nz"], steps=steps,
+    )
+    out = {}
+    out["mpi"] = powerllel_point(platform, backend="mpi", **base)
+    out["unr"] = powerllel_point(platform, backend="unr", **base)
+    out["unr_fallback"] = powerllel_point(
+        platform, backend="unr", fallback=True, **base
+    )
+    for key in ("unr", "unr_fallback"):
+        out[key]["speedup"] = out["mpi"]["time"] / out[key]["time"]
+    return out
+
+
+def fig6_polling_study(steps: int = 2) -> Dict[str, Dict]:
+    """Figure 6 HPC-IB polling-thread study.
+
+    * ``18_thread`` — 18 OpenMP threads, busy polling shares the cores;
+    * ``16_thread`` — 2 cores reserved for the polling thread,
+      16 compute threads (the paper could not use 17);
+    * ``interval`` — no reservation, tuned polling interval.
+    """
+    grid = FIG6_GRIDS["hpc-ib"]
+    base = dict(
+        nodes=grid["nodes"], py=grid["py"], pz=grid["pz"],
+        nx=grid["nx"], ny=grid["ny"], nz=grid["nz"], steps=steps,
+    )
+    out = {}
+    out["mpi"] = powerllel_point("hpc-ib", backend="mpi", **base)
+    out["18_thread"] = powerllel_point(
+        "hpc-ib", backend="unr",
+        polling=PollingConfig(mode="busy"), threads=18, **base,
+    )
+    out["16_thread"] = powerllel_point(
+        "hpc-ib", backend="unr",
+        polling=PollingConfig(mode="reserved", reserved_cores=2), threads=16, **base,
+    )
+    out["interval"] = powerllel_point(
+        "hpc-ib", backend="unr",
+        polling=PollingConfig(mode="interval", interval_us=20.0), threads=18, **base,
+    )
+    for key in ("18_thread", "16_thread", "interval"):
+        out[key]["speedup"] = out["mpi"]["time"] / out[key]["time"]
+    return out
+
+
+#: Strong-scaling series (node counts scaled to keep run times sane:
+#: same 16x ratio as the paper's 12→192 and 6x ratio for 288→1728).
+FIG7_SERIES = {
+    "th-2a": {
+        "grid": dict(nx=768, ny=768, nz=576),
+        "points": [
+            dict(nodes=12, py=4, pz=3),
+            dict(nodes=24, py=6, pz=4),
+            dict(nodes=48, py=8, pz=6),
+            dict(nodes=96, py=12, pz=8),
+            dict(nodes=192, py=16, pz=12),
+        ],
+    },
+    "th-xy": {
+        "grid": dict(nx=2880, ny=2880, nz=2160),
+        "points": [
+            dict(nodes=288, py=24, pz=12),
+            dict(nodes=576, py=24, pz=24),
+            dict(nodes=1152, py=48, pz=24),
+            dict(nodes=1728, py=48, pz=36),
+        ],
+    },
+}
+
+
+def fig7_scaling(platform: str, steps: int = 1, max_points: Optional[int] = None) -> List[Dict]:
+    """Strong-scaling sweep; returns one row per node count."""
+    series = FIG7_SERIES[platform]
+    grid = series["grid"]
+    points = series["points"][: max_points or None]
+    rows = []
+    base_nodes = points[0]["nodes"]
+    base_time = None
+    for pt in points:
+        res = powerllel_point(
+            platform, backend="unr", steps=steps, pipeline_slabs=2,
+            nx=grid["nx"], ny=grid["ny"], nz=grid["nz"], **pt,
+        )
+        if base_time is None:
+            base_time = res["time"]
+        efficiency = (base_time / res["time"]) * (base_nodes / pt["nodes"])
+        rows.append(
+            {
+                "nodes": pt["nodes"],
+                "time": res["time"],
+                "vel_update": res["phases"]["vel_update"],
+                "ppe": res["phases"]["ppe"],
+                "efficiency": efficiency,
+            }
+        )
+    return rows

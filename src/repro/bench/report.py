@@ -1,0 +1,34 @@
+"""Plain-text table/series formatting for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_size", "format_series"]
+
+
+def format_size(nbytes: int) -> str:
+    if nbytes >= 1 << 20:
+        return f"{nbytes >> 20}M"
+    if nbytes >= 1 << 10:
+        return f"{nbytes >> 10}K"
+    return f"{nbytes}B"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{c:.3f}" if isinstance(c, float) else str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence[float], unit: str = "") -> str:
+    pts = ", ".join(f"{x}:{y:.3g}{unit}" for x, y in zip(xs, ys))
+    return f"{name}: {pts}"

@@ -1,0 +1,197 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro tables                      # Tables I-III
+    python -m repro latency  --platform th-xy   # Figure 4 curves
+    python -m repro multinic                    # Figure 5 sweeps
+    python -m repro powerllel --platform th-2a  # one Figure 6 cell
+    python -m repro fig6     --platform th-2a   # full Figure 6 bars
+    python -m repro scaling  --platform th-2a   # Figure 7 series
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def _sizes(text: str) -> List[int]:
+    try:
+        return [int(s) for s in text.split(",") if s]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad size list {text!r}") from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UNR (SC 2024) reproduction: run the paper's experiments "
+        "on the simulated cluster.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I, II and III")
+
+    p = sub.add_parser("latency", help="Figure 4: UNR vs MPI-RMA latency")
+    p.add_argument("--platform", default="th-xy")
+    p.add_argument("--sizes", type=_sizes, default=[8, 512, 4096, 65536, 1048576])
+    p.add_argument("--iters", type=int, default=10)
+
+    p = sub.add_parser("multinic", help="Figure 5: multi-NIC aggregation sweeps")
+    p.add_argument("--platform", default="th-xy")
+    p.add_argument("--iters", type=int, default=12)
+
+    p = sub.add_parser("powerllel", help="one PowerLLEL run (Figure 6 cell)")
+    p.add_argument("--platform", default="th-2a")
+    p.add_argument("--backend", choices=["mpi", "unr"], default="unr")
+    p.add_argument("--fallback", action="store_true", help="use the UNR MPI-fallback channel")
+    p.add_argument("--nodes", type=int, default=12)
+    p.add_argument("--py", type=int, default=4)
+    p.add_argument("--pz", type=int, default=3)
+    p.add_argument("--grid", type=_sizes, default=[384, 384, 288],
+                   metavar="NX,NY,NZ")
+    p.add_argument("--steps", type=int, default=2)
+
+    p = sub.add_parser("fig6", help="Figure 6: baseline vs UNR vs fallback")
+    p.add_argument("--platform", default="th-2a")
+    p.add_argument("--steps", type=int, default=2)
+
+    p = sub.add_parser("scaling", help="Figure 7: strong-scaling series")
+    p.add_argument("--platform", choices=["th-2a", "th-xy"], default="th-2a")
+    p.add_argument("--steps", type=int, default=1)
+    p.add_argument("--max-points", type=int, default=None)
+
+    return parser
+
+
+def cmd_tables(args) -> int:
+    from .bench import format_table
+    from .core import max_signals
+    from .interconnect import TABLE_II, support_level
+    from .platforms import table3_rows
+
+    print("Table I: UNR support levels")
+    from .core.levels import _policy_from_bits  # noqa: PLC2701 - report only
+
+    rows = []
+    for bits, offload in [(0, False), (8, False), (16, False), (32, False),
+                          (64, False), (128, False), (128, True)]:
+        pol = _policy_from_bits(bits, offload, None)
+        rows.append([
+            pol.level, bits,
+            "ordered (p,a) msg" if pol.level == 0 else f"p:{pol.p_bits}b a:{pol.a_bits}b",
+            min(max_signals(pol), 1 << 62),
+            "yes" if pol.multi_channel else "no",
+            "no" if pol.level == 4 else "yes",
+        ])
+    print(format_table(
+        ["level", "bits", "encoding", "max signals", "multi-chan", "polling"], rows
+    ))
+
+    print("\nTable II: NIC capabilities")
+    rows = [
+        [c.interface, c.display("put_local"), c.display("put_remote"),
+         c.display("get_local"), c.display("get_remote"), f"Level-{support_level(c)}"]
+        for c in TABLE_II.values()
+    ]
+    print(format_table(
+        ["interface", "PUT loc", "PUT rem", "GET loc", "GET rem", "level"], rows
+    ))
+
+    print("\nTable III: platforms")
+    rows = [[r["system"], r["nics"], r["used_nodes"], r["channel"]] for r in table3_rows()]
+    print(format_table(["system", "NIC(s)", "nodes", "channel"], rows))
+    return 0
+
+
+def cmd_latency(args) -> int:
+    from .bench import format_size, format_table, latency_table
+
+    table = latency_table(args.platform, args.sizes, args.iters)
+    rows = [
+        [format_size(s)]
+        + [round(table[k][i], 2) for k in ("unr", "fence", "pscw", "lock")]
+        for i, s in enumerate(args.sizes)
+    ]
+    print(f"Figure 4 ({args.platform}): half round-trip latency (us)")
+    print(format_table(["size", "UNR", "fence", "PSCW", "lock"], rows))
+    return 0
+
+
+def cmd_multinic(args) -> int:
+    from .bench import aggregation_sweep, format_size, imbalance_sweep
+
+    sizes = (32768, 262144, 1048576, 4194304)
+    agg = aggregation_sweep(args.platform, sizes, args.iters)
+    imb = imbalance_sweep(args.platform, sizes, args.iters)
+    print(f"Figure 5 ({args.platform}): shared-NIC throughput improvement")
+    for i, s in enumerate(sizes):
+        print(f"  {format_size(s):>6}:  balanced {agg['improvement'][i]*100:6.1f}%   "
+              f"N(T,0.3T) {imb['improvement'][i]*100:6.1f}%")
+    return 0
+
+
+def cmd_powerllel(args) -> int:
+    from .bench import powerllel_point
+
+    nx, ny, nz = args.grid
+    res = powerllel_point(
+        args.platform, backend=args.backend, fallback=args.fallback,
+        nodes=args.nodes, py=args.py, pz=args.pz,
+        nx=nx, ny=ny, nz=nz, steps=args.steps,
+    )
+    p = res["phases"]
+    print(f"PowerLLEL [{args.backend}{'+fallback' if args.fallback else ''}] "
+          f"{nx}x{ny}x{nz} on {args.nodes} {args.platform} nodes:")
+    print(f"  total {res['time']*1e3:.3f} ms  "
+          f"(vel {p['vel_update']*1e3:.3f}, ppe {p['ppe']*1e3:.3f}, "
+          f"other {p['other']*1e3:.3f})")
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    from .bench import fig6_platform
+
+    out = fig6_platform(args.platform, args.steps)
+    print(f"Figure 6 ({args.platform}):")
+    for key in ("mpi", "unr", "unr_fallback"):
+        r = out[key]
+        extra = f"  speedup {out['mpi']['time']/r['time']:.3f}x" if key != "mpi" else ""
+        print(f"  {key:12s} {r['time']*1e3:9.3f} ms{extra}")
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    from .bench import fig7_scaling, format_table
+
+    rows = fig7_scaling(args.platform, args.steps, args.max_points)
+    print(f"Figure 7 ({args.platform}): strong scaling")
+    print(format_table(
+        ["nodes", "time (s)", "vel", "ppe", "efficiency"],
+        [[r["nodes"], r["time"], r["vel_update"], r["ppe"],
+          round(r["efficiency"], 3)] for r in rows],
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "tables": cmd_tables,
+    "latency": cmd_latency,
+    "multinic": cmd_multinic,
+    "powerllel": cmd_powerllel,
+    "fig6": cmd_fig6,
+    "scaling": cmd_scaling,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Notified-RMA collective operations built on UNR (paper §IV-E.3).
+
+UNR itself ships no collectives ("its goal is to unify the different
+Notifiable RMA Primitives"); the paper suggests implementing them *as
+acceleration libraries based on UNR*, citing prior notified-RMA
+collective work.  This package is that library: barrier, broadcast,
+allgather and all-to-all implemented purely with notified PUTs and
+MMAS signals — every arrival is observed through a signal, never
+through matching or synchronization rounds.
+"""
+
+from .ops import UnrCollectives
+
+__all__ = ["UnrCollectives"]

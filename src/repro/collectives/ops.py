@@ -1,0 +1,291 @@
+"""UNR-based collective algorithms.
+
+All operations are built from the same three UNR ingredients: a
+registered buffer, a BLK handle published once at setup, and an MMAS
+signal that fires when the expected puts have landed.  Buffers and
+signals are double-generation (parity) so the collectives are reusable
+every iteration without extra synchronization — consecutive calls use
+alternating slots, and the at-most-one-call skew between ranks
+guarantees a slot is always consumed and re-armed before its next use
+(the same argument as the paper's RK1/RK2 pre-synchronization).
+
+Algorithms:
+
+* ``barrier``   — dissemination: ⌈log2 P⌉ rounds of notified 0-payload
+  puts, one signal per (round, parity).
+* ``bcast``     — binomial tree of notified puts.
+* ``allgather`` — ring: each step forwards the previously received
+  chunk; per-slot signals give exact arrival tracking.
+* ``alltoall``  — direct notified puts with rotated target order (one
+  aggregate signal of ``P-1`` events per parity).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import Unr, UnrEndpoint, UnrUsageError
+
+__all__ = ["UnrCollectives"]
+
+_GENS = 2  # parity generations for safe reuse
+
+
+class UnrCollectives:
+    """Per-rank collective context over ``ranks`` (call setup on all).
+
+    ``chunk_bytes`` is the fixed per-rank payload size for
+    bcast/allgather/alltoall (registered once, like an RMA plan).
+    """
+
+    def __init__(self, unr: Unr, ranks: Sequence[int], rank: int, chunk_bytes: int = 64):
+        if rank not in ranks:
+            raise UnrUsageError(f"rank {rank} not in {list(ranks)}")
+        if chunk_bytes < 1:
+            raise UnrUsageError("chunk_bytes must be positive")
+        self.unr = unr
+        self.ranks = list(ranks)
+        self.rank = rank
+        self.me = self.ranks.index(rank)
+        self.size = len(self.ranks)
+        self.chunk = chunk_bytes
+        self.ep: UnrEndpoint = unr.endpoint(rank)
+        self.real = True
+        self._counts = {"barrier": 0, "bcast": 0, "allgather": 0, "alltoall": 0}
+        # Filled by setup():
+        self._bar_sigs = None
+        self._bar_peer = None
+        self._bc = None
+        self._ag = None
+        self._a2a = None
+        self._ready = False
+
+    # ------------------------------------------------------------- setup
+    def setup(self):
+        """Generator: register buffers, create signals, exchange BLKs."""
+        ep = self.ep
+        P, me = self.size, self.me
+        rounds = max((P - 1).bit_length(), 1)
+
+        # --- barrier: one 1-byte slot per (round, gen) --------------------
+        bar_buf = np.zeros(rounds * _GENS, dtype=np.uint8)
+        bar_mr = ep.mem_reg(bar_buf)
+        self._bar_sigs = [
+            [ep.sig_init(1) for _gen in range(_GENS)] for _r in range(rounds)
+        ]
+        my_bar_blks = [
+            [
+                ep.blk_init(bar_mr, (r * _GENS + g), 1, signal=self._bar_sigs[r][g])
+                for g in range(_GENS)
+            ]
+            for r in range(rounds)
+        ]
+        self._bar_peer = []
+        send_src = ep.blk_init(bar_mr, 0, 1)  # payload is irrelevant
+        self._bar_src = send_src
+        if P > 1:
+            for r in range(rounds):
+                to_peer = self.ranks[(me + (1 << r)) % P]
+                from_peer = self.ranks[(me - (1 << r)) % P]
+                yield from ep.send_ctl(from_peer, my_bar_blks[r], tag=("col-bar", r, me))
+                peer_blks = yield from ep.recv_ctl(
+                    to_peer, tag=("col-bar", r, (me + (1 << r)) % P)
+                )
+                self._bar_peer.append(peer_blks)
+
+        # --- bcast: one chunk slot per gen; everyone knows everyone's ----
+        bc_buf = np.zeros(self.chunk * _GENS, dtype=np.uint8)
+        bc_mr = ep.mem_reg(bc_buf)
+        bc_sigs = [ep.sig_init(1) for _g in range(_GENS)]
+        my_bc = [
+            ep.blk_init(bc_mr, g * self.chunk, self.chunk, signal=bc_sigs[g])
+            for g in range(_GENS)
+        ]
+        all_bc = yield from self._publish_all(my_bc, "col-bc")
+        self._bc = {"buf": bc_buf, "sigs": bc_sigs, "blks": all_bc, "mine": my_bc}
+
+        # --- allgather: P slots per gen, per-slot signals ------------------
+        ag_buf = np.zeros(P * self.chunk * _GENS, dtype=np.uint8)
+        ag_mr = ep.mem_reg(ag_buf)
+        ag_sigs = [[ep.sig_init(1) for _s in range(P)] for _g in range(_GENS)]
+        my_ag = [
+            [
+                ep.blk_init(
+                    ag_mr, (g * P + s) * self.chunk, self.chunk, signal=ag_sigs[g][s]
+                )
+                for s in range(P)
+            ]
+            for g in range(_GENS)
+        ]
+        right = self.ranks[(me + 1) % P]
+        left = self.ranks[(me - 1) % P]
+        yield from ep.send_ctl(left, my_ag, tag=("col-ag", me))
+        right_blks = yield from ep.recv_ctl(right, tag=("col-ag", (me + 1) % P))
+        self._ag = {
+            "buf": ag_buf, "mr": ag_mr, "sigs": ag_sigs, "mine": my_ag,
+            "right": right_blks, "right_rank": right,
+        }
+
+        # --- alltoall: P source slots per gen, one aggregate signal --------
+        a2a_buf = np.zeros(P * self.chunk * _GENS, dtype=np.uint8)
+        a2a_mr = ep.mem_reg(a2a_buf)
+        a2a_send = np.zeros(P * self.chunk, dtype=np.uint8)
+        a2a_send_mr = ep.mem_reg(a2a_send)
+        a2a_sigs = [ep.sig_init(max(P - 1, 1)) for _g in range(_GENS)]
+        my_a2a = [
+            [
+                ep.blk_init(
+                    a2a_mr, (g * P + s) * self.chunk, self.chunk, signal=a2a_sigs[g]
+                )
+                for s in range(P)
+            ]
+            for g in range(_GENS)
+        ]
+        all_a2a = yield from self._publish_all(my_a2a, "col-a2a")
+        self._a2a = {
+            "buf": a2a_buf, "send": a2a_send, "send_mr": a2a_send_mr,
+            "sigs": a2a_sigs, "blks": all_a2a,
+        }
+        self._ready = True
+        return self
+
+    def _publish_all(self, my_obj: Any, tag: str):
+        """Ship ``my_obj`` to every peer; return everyone's, indexed by
+        communicator rank."""
+        ep = self.ep
+        out: List[Any] = [None] * self.size
+        out[self.me] = my_obj
+        for j, peer in enumerate(self.ranks):
+            if j == self.me:
+                continue
+            yield from ep.send_ctl(peer, my_obj, tag=(tag, self.me))
+        for j, peer in enumerate(self.ranks):
+            if j == self.me:
+                continue
+            out[j] = yield from ep.recv_ctl(peer, tag=(tag, j))
+        return out
+
+    def _need_setup(self) -> None:
+        if not self._ready:
+            raise UnrUsageError("call (yield from) setup() on every member first")
+
+    # ------------------------------------------------------------ barrier
+    def barrier(self):
+        """Generator: dissemination barrier over notified puts."""
+        self._need_setup()
+        if self.size == 1:
+            return
+        gen = self._counts["barrier"] % _GENS
+        self._counts["barrier"] += 1
+        ep = self.ep
+        P, me = self.size, self.me
+        for r in range(max((P - 1).bit_length(), 1)):
+            # My round-r token goes to the peer 2^r ahead; I wait for
+            # the token from the peer 2^r behind (classic dissemination).
+            ep.put(self._bar_src, self._bar_peer[r][gen])
+            yield from ep.sig_wait(self._bar_sigs[r][gen])
+            self.ep.sig_reset(self._bar_sigs[r][gen])
+
+    # -------------------------------------------------------------- bcast
+    def bcast(self, data: Optional[np.ndarray], root: int = 0):
+        """Generator: binomial broadcast of one chunk from local rank
+        ``root``; returns the chunk on every rank."""
+        self._need_setup()
+        gen = self._counts["bcast"] % _GENS
+        self._counts["bcast"] += 1
+        ep = self.ep
+        P, me = self.size, self.me
+        bc = self._bc
+        view = bc["buf"][gen * self.chunk : (gen + 1) * self.chunk]
+        if me == root:
+            payload = np.asarray(data, dtype=np.uint8).reshape(-1)
+            if payload.nbytes != self.chunk:
+                raise UnrUsageError(
+                    f"bcast payload must be {self.chunk} bytes, got {payload.nbytes}"
+                )
+            view[:] = payload
+        else:
+            yield from ep.sig_wait(bc["sigs"][gen])
+        # Forward down the binomial tree (virtual ranks relative to root).
+        vrank = (me - root) % P
+        mask = 1
+        while mask < P:
+            mask <<= 1
+        mask >>= 1
+        src_blk = bc["mine"][gen].with_signal(None)
+        while mask > 0:
+            if vrank + mask < P and vrank % max(mask, 1) == 0 and not (vrank & mask):
+                dst = (vrank + mask + root) % P
+                ep.put(src_blk, bc["blks"][dst][gen])
+            mask >>= 1
+        out = view.copy()
+        if me != root:
+            ep.sig_reset(bc["sigs"][gen])
+        return out
+
+    # ----------------------------------------------------------- allgather
+    def allgather(self, chunk: np.ndarray):
+        """Generator: ring allgather; returns an array of shape (P, chunk)."""
+        self._need_setup()
+        gen = self._counts["allgather"] % _GENS
+        self._counts["allgather"] += 1
+        ep = self.ep
+        P, me = self.size, self.me
+        ag = self._ag
+        payload = np.asarray(chunk, dtype=np.uint8).reshape(-1)
+        if payload.nbytes != self.chunk:
+            raise UnrUsageError(
+                f"allgather chunk must be {self.chunk} bytes, got {payload.nbytes}"
+            )
+        base = gen * P
+        buf = ag["buf"]
+        my_slot = buf[(base + me) * self.chunk : (base + me + 1) * self.chunk]
+        my_slot[:] = payload
+        if P == 1:
+            return buf[base * self.chunk : (base + 1) * self.chunk].copy().reshape(1, -1)
+        # Ring: in step s, forward slot (me - s) mod P to the right.
+        for s in range(P - 1):
+            slot = (me - s) % P
+            src = ag["mine"][gen][slot].with_signal(None)
+            ep.put(src, ag["right"][gen][slot])
+            incoming = (me - s - 1) % P
+            yield from ep.sig_wait(ag["sigs"][gen][incoming])
+            ep.sig_reset(ag["sigs"][gen][incoming])
+        out = buf[base * self.chunk : (base + P) * self.chunk].copy()
+        return out.reshape(P, self.chunk)
+
+    # ------------------------------------------------------------ alltoall
+    def alltoall(self, chunks: Sequence[np.ndarray]):
+        """Generator: direct notified all-to-all; returns (P, chunk)."""
+        self._need_setup()
+        gen = self._counts["alltoall"] % _GENS
+        self._counts["alltoall"] += 1
+        ep = self.ep
+        P, me = self.size, self.me
+        a2a = self._a2a
+        if len(chunks) != P:
+            raise UnrUsageError(f"alltoall needs {P} chunks, got {len(chunks)}")
+        base = gen * P
+        # Stage the outgoing data in the registered send buffer.
+        for j in range(P):
+            payload = np.asarray(chunks[j], dtype=np.uint8).reshape(-1)
+            if payload.nbytes != self.chunk:
+                raise UnrUsageError(
+                    f"alltoall chunks must be {self.chunk} bytes, got {payload.nbytes}"
+                )
+            a2a["send"][j * self.chunk : (j + 1) * self.chunk] = payload
+        # Self-chunk: local copy.
+        mine = a2a["buf"][(base + me) * self.chunk : (base + me + 1) * self.chunk]
+        mine[:] = a2a["send"][me * self.chunk : (me + 1) * self.chunk]
+        # Rotated target order (no hotspot, cf. backend_unr.put_slab).
+        for k in range(1, P):
+            j = (me + k) % P
+            src = ep.blk_init(a2a["send_mr"], j * self.chunk, self.chunk)
+            ep.put(src, a2a["blks"][j][gen][me])
+        if P > 1:
+            yield from ep.sig_wait(a2a["sigs"][gen])
+            ep.sig_reset(a2a["sigs"][gen])
+        out = a2a["buf"][base * self.chunk : (base + P) * self.chunk].copy()
+        return out.reshape(P, self.chunk)

@@ -1,0 +1,59 @@
+"""UNR: the Unified Notifiable RMA library (the paper's contribution).
+
+Layered as in the paper (§IV-A): the *UNR Transport Layer* abstracts
+Notifiable RMA Primitives (:mod:`repro.interconnect` adapters +
+:mod:`repro.core.levels` encodings + :mod:`repro.core.polling`), and
+the *UNR Interface Module* exposes signals, BLKs, PUT/GET and plans
+(:mod:`repro.core.api`).
+"""
+
+from .api import Unr, UnrEndpoint
+from .convert import alltoallv_convert, irecv_convert, isend_convert, sendrecv_convert
+from .errors import (
+    UnrDegradeWarning,
+    UnrError,
+    UnrOverflowError,
+    UnrSyncError,
+    UnrSyncWarning,
+    UnrUsageError,
+)
+from .levels import LevelPolicy, decode_custom, encode_custom, max_signals, policy_for_channel
+from .memory import Blk, MemoryRegion
+from .plan import PlannedOp, RmaPlan
+from .polling import PollingConfig, PollingEngine
+from .signal import DEFAULT_N_BITS, MASK64, Signal, submessage_addends
+from .transport import DEFAULT_STRIPE_THRESHOLD, MIN_FRAGMENT, Stripe, plan_stripes
+
+__all__ = [
+    "Blk",
+    "DEFAULT_N_BITS",
+    "DEFAULT_STRIPE_THRESHOLD",
+    "LevelPolicy",
+    "MASK64",
+    "MIN_FRAGMENT",
+    "MemoryRegion",
+    "PlannedOp",
+    "PollingConfig",
+    "PollingEngine",
+    "RmaPlan",
+    "Signal",
+    "Stripe",
+    "Unr",
+    "UnrDegradeWarning",
+    "UnrEndpoint",
+    "UnrError",
+    "UnrOverflowError",
+    "UnrSyncError",
+    "UnrSyncWarning",
+    "UnrUsageError",
+    "alltoallv_convert",
+    "decode_custom",
+    "encode_custom",
+    "irecv_convert",
+    "isend_convert",
+    "max_signals",
+    "plan_stripes",
+    "policy_for_channel",
+    "sendrecv_convert",
+    "submessage_addends",
+]

@@ -1,0 +1,655 @@
+"""UNR public API: the library object and per-rank endpoints.
+
+Mirrors the paper's interface (Code 2):
+
+=====================  =======================================
+Paper                  Here
+=====================  =======================================
+``UNR_Mem_Reg``        :meth:`UnrEndpoint.mem_reg`
+``UNR_Sig_Init``       :meth:`UnrEndpoint.sig_init`
+``UNR_Sig_Reset``      :meth:`UnrEndpoint.sig_reset`
+``UNR_Sig_Wait``       :meth:`UnrEndpoint.sig_wait`
+``UNR_Blk_Init``       :meth:`UnrEndpoint.blk_init`
+``UNR_Put``            :meth:`UnrEndpoint.put`
+``UNR_Get``            :meth:`UnrEndpoint.get`
+``UNR_RMA_Plan``       :meth:`UnrEndpoint.plan`
+=====================  =======================================
+
+The endpoint methods that wait (``sig_wait``, ``exchange_blk``) are
+generators — drive them with ``yield from`` inside rank programs.
+``put``/``get`` are non-blocking posts: completion is observed through
+signals, never through return values (that is the point of the paper).
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import Counter
+from typing import Any, List, Optional, Union
+
+import numpy as np
+
+from ..interconnect import MpiFallbackChannel, RmaChannel, make_channel
+from ..netsim import CompletionRecord
+from ..runtime import Job
+from ..sim import FilterStore
+from .errors import (
+    UnrDegradeWarning,
+    UnrOverflowError,
+    UnrSyncError,
+    UnrSyncWarning,
+    UnrUsageError,
+)
+from .levels import LevelPolicy, decode_custom, encode_custom, max_signals, policy_for_channel
+from .memory import Blk, MemoryRegion
+from .polling import PollingConfig, PollingEngine
+from .signal import DEFAULT_N_BITS, Signal, submessage_addends
+from .transport import DEFAULT_STRIPE_THRESHOLD, plan_stripes
+
+__all__ = ["Unr", "UnrEndpoint"]
+
+_UNSET = object()
+_CTRL_BYTES = 24  # wire size of a (p, a) control message
+
+
+class Unr:
+    """One UNR library instance for a job.
+
+    Parameters
+    ----------
+    job:
+        The :class:`~repro.runtime.Job` to serve.
+    channel:
+        Interface name (``glex``, ``verbs``, ``utofu``, ``ugni``,
+        ``pami``, ``portals``, ``mpi`` for the fallback) or a channel
+        instance.
+    polling:
+        :class:`PollingConfig`, a mode string, or ``None`` for the
+        default (busy polling when the level requires it, none for
+        Level 4 / the fallback).
+    mode2_split:
+        Level-2 mode-2: number of pointer bits ``x`` out of 32
+        (``None`` selects mode 1: all bits for ``p``).
+    n_bits:
+        The signal event-field width ``N`` shared by all signals
+        (defaults to the widest value the channel's addend bits allow,
+        capped at 32 as on TH Express).
+    stripe_threshold:
+        Messages at least this large are striped over multiple rails
+        when the level supports aggregation.
+    max_stripe_rails:
+        Cap on rails used per message (``None`` = all rails).
+    strict:
+        Raise on detected synchronization errors / overflows instead of
+        warning.
+    """
+
+    def __init__(
+        self,
+        job: Job,
+        channel: Union[str, RmaChannel] = "glex",
+        *,
+        polling: Union[PollingConfig, str, None] = None,
+        mode2_split: Optional[int] = None,
+        n_bits: Optional[int] = None,
+        stripe_threshold: int = DEFAULT_STRIPE_THRESHOLD,
+        max_stripe_rails: Optional[int] = None,
+        strict: bool = False,
+        fallback_config=None,
+    ):
+        self.job = job
+        self.env = job.env
+        if isinstance(channel, str):
+            if channel.lower() == "mpi":
+                channel = MpiFallbackChannel(job, fallback_config)
+            else:
+                channel = make_channel(channel, job)
+        self.channel = channel
+        self.strict = strict
+        self.stripe_threshold = stripe_threshold
+        self.max_stripe_rails = max_stripe_rails
+
+        self.put_remote_policy = policy_for_channel(channel, "put_remote", mode2_split)
+        self.put_local_policy = policy_for_channel(channel, "put_local", mode2_split)
+        self.get_remote_policy = policy_for_channel(channel, "get_remote", mode2_split)
+        self.get_local_policy = policy_for_channel(channel, "get_local", mode2_split)
+
+        if n_bits is None:
+            def side_n(policy: LevelPolicy) -> int:
+                n = policy.max_n_bits(DEFAULT_N_BITS)
+                if policy.multi_channel and policy.a_bits > 0:
+                    # Leave addend headroom for striping (up to 8 rails).
+                    n = min(n, max(policy.a_bits - 5, 1))
+                return n
+
+            n_bits = min(
+                side_n(self.put_remote_policy),
+                side_n(self.put_local_policy),
+                side_n(self.get_local_policy),
+            )
+        self.n_bits = n_bits
+        self.sid_capacity = max_signals(self.put_remote_policy)
+
+        n_nodes = job.cluster.n_nodes
+        self._sig_tables: List[dict] = [dict() for _ in range(n_nodes)]
+        self._sid_next: List[int] = [0] * n_nodes
+        self._sid_free: List[list] = [[] for _ in range(n_nodes)]
+        self._mrs: dict = {}
+        self._mr_next: List[int] = [0] * job.n_ranks
+        self._inbox: List[FilterStore] = [FilterStore(self.env) for _ in range(job.n_ranks)]
+        self._endpoints: dict = {}
+        self.stats: Counter = Counter()
+        self._degrade_warned = False
+
+        self.polling_config = self._resolve_polling(polling)
+        self.engines: List[PollingEngine] = []
+        if self.polling_config.mode != "none":
+            for node in job.cluster.nodes:
+                self.engines.append(
+                    PollingEngine(self.env, node, self.polling_config, self._handle_record)
+                )
+
+    # ------------------------------------------------------------------
+    def _resolve_polling(self, polling) -> PollingConfig:
+        if isinstance(polling, PollingConfig):
+            return polling
+        if isinstance(polling, str):
+            return PollingConfig(mode=polling)
+        # Auto: Level 4 and the software-notified fallback need no thread.
+        if getattr(self.channel, "software_notify", False):
+            return PollingConfig(mode="none")
+        if self.put_remote_policy.hw_offload:
+            return PollingConfig(mode="none")
+        return PollingConfig(mode="busy")
+
+    @property
+    def level(self) -> int:
+        return self.channel.level()
+
+    def endpoint(self, rank: int) -> "UnrEndpoint":
+        if rank not in self._endpoints:
+            self._endpoints[rank] = UnrEndpoint(self, rank)
+        return self._endpoints[rank]
+
+    # -- signal table ----------------------------------------------------
+    def _node_index(self, rank: int) -> int:
+        return self.job.node_of(rank).index
+
+    def _alloc_signal(self, rank: int, num_event: int) -> Signal:
+        node = self._node_index(rank)
+        if self._sid_free[node]:
+            sid = self._sid_free[node].pop()
+        else:
+            sid = self._sid_next[node]
+            self._sid_next[node] += 1
+        sig = Signal(self.env, sid, num_event, n_bits=self.n_bits, owner_rank=rank)
+        self._sig_tables[node][sid] = sig
+        if sid >= self.sid_capacity and not self._degrade_warned:
+            self._degrade_warned = True
+            warnings.warn(
+                f"signal table exceeded the {self.sid_capacity} ids addressable "
+                f"with {self.put_remote_policy.p_bits} pointer bits at level "
+                f"{self.put_remote_policy.level}; overflowing signals use the "
+                "Level-0 ordered-message path",
+                UnrDegradeWarning,
+                stacklevel=3,
+            )
+        return sig
+
+    def _free_signal(self, sig: Signal) -> None:
+        node = self._node_index(sig.owner_rank)
+        if self._sig_tables[node].get(sig.sid) is not sig:
+            raise UnrUsageError(
+                f"signal {sig.sid} is not registered (double free?)"
+            )
+        del self._sig_tables[node][sig.sid]
+        sig.armed = False
+        self._sid_free[node].append(sig.sid)
+
+    def _signal_at(self, node: int, sid: int) -> Optional[Signal]:
+        return self._sig_tables[node].get(sid)
+
+    def _apply_add(self, node: int, sid: int, addend: int) -> None:
+        sig = self._signal_at(node, sid)
+        if sig is None:
+            self.stats["stray_completions"] += 1
+            return
+        sig.add(addend)
+        self.stats["adds_applied"] += 1
+
+    def _handle_record(self, node: int, record: CompletionRecord) -> None:
+        """Polling-thread dispatch: decode custom bits, apply the add."""
+        if record.kind == "ctrl":
+            sid, addend = record.payload
+        else:
+            policy = {
+                "put_remote": self.put_remote_policy,
+                "put_local": self.put_local_policy,
+                "get_remote": self.get_remote_policy,
+                "get_local": self.get_local_policy,
+            }.get(record.kind)
+            if policy is None:
+                self.stats["unknown_records"] += 1
+                return
+            sid, addend = decode_custom(record.custom, policy)
+        self._apply_add(node, sid, addend)
+
+    # -- memory ------------------------------------------------------------
+    def _register_mr(
+        self, rank: int, array: Optional[np.ndarray], virtual_nbytes: Optional[int] = None
+    ) -> MemoryRegion:
+        handle = self._mr_next[rank]
+        self._mr_next[rank] += 1
+        mr = MemoryRegion(rank, handle, array, virtual_nbytes=virtual_nbytes)
+        self._mrs[(rank, handle)] = mr
+        return mr
+
+    def _mr_of(self, blk: Blk) -> MemoryRegion:
+        try:
+            return self._mrs[(blk.rank, blk.mr_handle)]
+        except KeyError:
+            raise UnrUsageError(
+                f"BLK references unregistered memory (rank={blk.rank}, "
+                f"handle={blk.mr_handle})"
+            ) from None
+
+    # -- sync-error accounting -----------------------------------------------
+    def _sync_error(self, message: str) -> None:
+        self.stats["sync_errors"] += 1
+        if self.strict:
+            raise UnrSyncError(message)
+        warnings.warn(message, UnrSyncWarning, stacklevel=4)
+
+    def _overflow_error(self, message: str) -> None:
+        self.stats["overflow_errors"] += 1
+        if self.strict:
+            raise UnrOverflowError(message)
+        warnings.warn(message, UnrSyncWarning, stacklevel=4)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Unr channel={self.channel.name} level={self.level} "
+            f"N={self.n_bits} polling={self.polling_config.mode}>"
+        )
+
+
+class UnrEndpoint:
+    """Per-rank view of the UNR library (use from that rank's program)."""
+
+    def __init__(self, unr: Unr, rank: int):
+        self.unr = unr
+        self.rank = rank
+        self.env = unr.env
+        self.job = unr.job
+        self.node_index = unr._node_index(rank)
+
+    # -- registration --------------------------------------------------------
+    def mem_reg(self, array: np.ndarray) -> MemoryRegion:
+        """Register ``array`` for RMA (paper: ``UNR_Mem_Reg``)."""
+        return self.unr._register_mr(self.rank, array)
+
+    def mem_reg_virtual(self, nbytes: int) -> MemoryRegion:
+        """Register a *virtual* region: geometry without backing storage.
+
+        Timing, signals and notification behave exactly as for real
+        regions; only the data plane is elided.  Used for performance
+        runs whose working set exceeds host memory (e.g. the 1728-node
+        strong-scaling experiments)."""
+        return self.unr._register_mr(self.rank, None, virtual_nbytes=nbytes)
+
+    def sig_init(self, num_event: int) -> Signal:
+        """Create a signal triggering after ``num_event`` completions."""
+        return self.unr._alloc_signal(self.rank, num_event)
+
+    def sig_free(self, sig: Signal) -> None:
+        self.unr._free_signal(sig)
+
+    def blk_init(
+        self,
+        mr: MemoryRegion,
+        offset: int,
+        size: int,
+        signal: Optional[Signal] = None,
+    ) -> Blk:
+        """Declare a block of ``mr`` (paper: ``UNR_Blk_Init``).
+
+        ``signal`` is bound to the block: it receives one event whenever
+        the block finishes sending (used as PUT source) or receiving
+        (used as PUT destination).
+        """
+        if mr.owner_rank != self.rank:
+            raise UnrUsageError(
+                f"rank {self.rank} cannot create a BLK over rank "
+                f"{mr.owner_rank}'s memory region"
+            )
+        mr.slice(offset, size)  # bounds check
+        sid = None
+        if signal is not None:
+            if self.unr._node_index(signal.owner_rank) != self.node_index:
+                raise UnrUsageError("signal must live on the caller's node")
+            sid = signal.sid
+        return Blk(rank=self.rank, mr_handle=mr.handle, offset=offset, size=size, signal_sid=sid)
+
+    # -- signal operations ----------------------------------------------------
+    def sig_reset(self, sig: Signal) -> None:
+        """Re-arm ``sig`` (paper: ``UNR_Sig_Reset``).
+
+        Must be called *after* the corresponding buffers are ready for
+        the next iteration's RMA; if the counter is not zero, a message
+        arrived earlier than expected — a synchronization error in the
+        application (paper §IV-D)."""
+        if not sig.is_zero:
+            self.unr._sync_error(
+                f"sig_reset(sid={sig.sid}): counter={sig.counter:#x} != 0 — "
+                f"{'a message arrived before the buffer was declared ready' if sig.counter < sig.num_event or sig.overflow_bit else 'signal was never fully triggered'}"
+            )
+        sig._reset_counter()
+
+    def sig_wait(self, sig: Signal):
+        """Generator: wait until ``sig`` triggers (paper: ``UNR_Sig_Wait``).
+
+        Also checks the event-overflow detect bit: if more than
+        ``num_event`` events were received the application sent more
+        messages than the receiver armed for."""
+        yield sig.wait_event()
+        if sig.overflow_bit:
+            self.unr._overflow_error(
+                f"sig_wait(sid={sig.sid}): overflow bit set — more than "
+                f"num_event={sig.num_event} events received"
+            )
+        return sig
+
+    def sig_test(self, sig: Signal) -> bool:
+        """Non-blocking check of ``sig`` (returns True when triggered)."""
+        return sig.is_zero
+
+    # -- out-of-band control (BLK exchange, paper Code 2 lines 6/12) --------
+    def send_ctl(self, dst_rank: int, obj: Any, tag: Any = None, nbytes: int = _CTRL_BYTES):
+        """Generator: send a small control object to ``dst_rank``.
+
+        ``nbytes`` sets the on-the-wire size (defaults to a bare (p, a)
+        envelope; pass the payload size when shipping real data)."""
+        inbox = self.unr._inbox[dst_rank]
+        done = self.env.event()
+        self.unr.channel.put(
+            self.rank,
+            dst_rank,
+            max(nbytes, _CTRL_BYTES),
+            payload=(self.rank, tag, obj),
+            on_deliver=lambda item: (inbox.put(item), done.succeed())[-1],
+            ordered=True,
+        )
+        yield done
+
+    def recv_ctl(self, src_rank: int, tag: Any = None):
+        """Generator: receive a control object from ``src_rank``."""
+        item = yield self.unr._inbox[self.rank].get(
+            lambda m: m[0] == src_rank and m[1] == tag
+        )
+        return item[2]
+
+    def exchange_blk(self, peer_rank: int, blk: Blk, tag: Any = "blk"):
+        """Generator: swap BLKs with ``peer_rank``; returns the peer's.
+
+        This is the paper's replacement for manual remote-offset
+        arithmetic: each side learns a transportable handle instead of
+        computing remote addresses."""
+        yield from self.send_ctl(peer_rank, blk, tag=tag)
+        peer_blk = yield from self.recv_ctl(peer_rank, tag=tag)
+        return peer_blk
+
+    # -- data movement -----------------------------------------------------
+    def put(
+        self,
+        src_blk: Blk,
+        dst_blk: Blk,
+        *,
+        remote_sid=_UNSET,
+        local_signal=_UNSET,
+    ) -> None:
+        """Non-blocking notifiable PUT (paper: ``UNR_Put``).
+
+        Data from ``src_blk`` (local) lands in ``dst_blk`` (remote).
+        The signal bound to ``dst_blk`` fires at the target when all
+        bytes have arrived; the signal bound to ``src_blk`` fires here
+        when the source buffer is reusable.  Either can be overridden
+        per-call (``remote_sid`` — the target-side signal id;
+        ``local_signal`` — a local :class:`Signal`)."""
+        unr = self.unr
+        if src_blk.rank != self.rank:
+            raise UnrUsageError(f"put source BLK belongs to rank {src_blk.rank}")
+        if src_blk.size != dst_blk.size:
+            raise UnrUsageError(
+                f"size mismatch: src {src_blk.size}B vs dst {dst_blk.size}B"
+            )
+        src_mr = unr._mr_of(src_blk)
+        dst_mr = unr._mr_of(dst_blk)
+        rsid = dst_blk.signal_sid if remote_sid is _UNSET else remote_sid
+        if local_signal is _UNSET:
+            lsid = src_blk.signal_sid
+        else:
+            lsid = None if local_signal is None else local_signal.sid
+        dst_node = unr._node_index(dst_blk.rank)
+
+        ch = unr.channel
+        software = getattr(ch, "software_notify", False)
+        rpol = unr.put_remote_policy
+        lpol = unr.put_local_policy
+        degraded_r = rsid is not None and rsid >= unr.sid_capacity
+        ctrl_remote = rsid is not None and (rpol.level == 0 or degraded_r) and not software
+        # Striping requires hardware addend bits on every side that
+        # carries a signal, and non-degraded signal ids.
+        multi_ok = (
+            not software
+            and not ctrl_remote
+            and (rsid is None or (rpol.multi_channel and rpol.a_bits > 0))
+            and (lsid is None or (lpol.multi_channel and lpol.a_bits > 0))
+        )
+        n_rails = min(
+            self.job.node_of(self.rank).n_rails,
+            self.job.node_of(dst_blk.rank).n_rails,
+        )
+        max_k = self._max_stripe_k(rpol if rsid is not None else lpol)
+        if unr.max_stripe_rails:
+            max_k = min(max_k, unr.max_stripe_rails)
+        stripes = plan_stripes(
+            src_blk.size,
+            n_rails,
+            threshold=unr.stripe_threshold,
+            multi_channel=multi_ok,
+            max_fragments=max_k,
+        )
+        k = len(stripes)
+        r_addends = submessage_addends(k, unr.n_bits) if rsid is not None else None
+        l_addends = submessage_addends(k, unr.n_bits) if lsid is not None else None
+
+        src_bytes = src_mr.slice(src_blk.offset, src_blk.size)
+        unr.stats["puts"] += 1
+        unr.stats["fragments"] += k
+        for st in stripes:
+            dst_view = dst_mr.slice(dst_blk.offset + st.offset, st.size)
+            if src_bytes is None or dst_view is None:
+                payload = None
+                deliver = None
+            else:
+                payload = src_bytes[st.offset : st.offset + st.size].copy()
+
+                def deliver(data, view=dst_view):
+                    view[:] = data
+
+            remote_custom = local_custom = None
+            remote_action = local_action = None
+            if rsid is not None and not ctrl_remote:
+                if software:
+                    remote_action = (
+                        lambda a=r_addends[st.index], n=dst_node, s=rsid: unr._apply_add(n, s, a)
+                    )
+                elif rpol.hw_offload:
+                    remote_action = (
+                        lambda a=r_addends[st.index], n=dst_node, s=rsid: unr._apply_add(n, s, a)
+                    )
+                else:
+                    remote_custom = encode_custom(rsid, r_addends[st.index], rpol)
+            if lsid is not None:
+                if software or lpol.level == 0:
+                    local_action_sw = (
+                        lambda a=l_addends[st.index], n=self.node_index, s=lsid: unr._apply_add(n, s, a)
+                    )
+                    if software:
+                        local_action = local_action_sw
+                elif lpol.hw_offload:
+                    local_action = (
+                        lambda a=l_addends[st.index], n=self.node_index, s=lsid: unr._apply_add(n, s, a)
+                    )
+                else:
+                    local_custom = encode_custom(lsid, l_addends[st.index], lpol)
+
+            done = ch.put(
+                self.rank,
+                dst_blk.rank,
+                st.size,
+                payload=payload,
+                on_deliver=deliver,
+                remote_custom=remote_custom,
+                local_custom=local_custom,
+                remote_action=remote_action,
+                local_action=local_action,
+                rail=st.rail,
+                ordered=ctrl_remote,  # Level-0 data must stay ordered
+            )
+            if lsid is not None and not software and lpol.level == 0:
+                # No local custom bits: apply the local add in software
+                # when the send completes (the sender knows its own posts).
+                done.callbacks.append(
+                    lambda _e, fn=local_action_sw: fn()
+                )
+        if ctrl_remote:
+            self._post_ctrl(dst_blk.rank, dst_node, rsid, -1)
+
+    def _max_stripe_k(self, policy: LevelPolicy) -> int:
+        """Largest stripe count whose addends fit the policy's bits."""
+        if policy.a_bits == 0:
+            return 1
+        budget = policy.a_bits - 2 - self.unr.n_bits
+        if budget <= 0:
+            return 1
+        return min(1 << budget, 1 << 16)
+
+    def _post_ctrl(self, dst_rank: int, dst_node: int, sid: int, addend: int) -> None:
+        """Level-0 scheme: an order-preserving message carrying (p, a)."""
+        unr = self.unr
+        unr.stats["ctrl_msgs"] += 1
+        dst_nic = self.job.nic_of(dst_rank)
+        env = self.env
+
+        def deliver(_payload):
+            rec = CompletionRecord(
+                kind="ctrl",
+                payload=(sid, addend),
+                src_node=self.node_index,
+                dst_node=dst_node,
+                complete_time=env.now,
+            )
+            env.process(dst_nic.cq.push(rec), name="ctrl-cqe")
+
+        unr.channel.put(
+            self.rank,
+            dst_rank,
+            _CTRL_BYTES,
+            on_deliver=deliver,
+            ordered=True,
+        )
+
+    def get(
+        self,
+        local_blk: Blk,
+        remote_blk: Blk,
+        *,
+        remote_sid=_UNSET,
+        local_signal=_UNSET,
+    ) -> None:
+        """Non-blocking notifiable GET (paper: ``UNR_Get``).
+
+        Data from ``remote_blk`` lands in ``local_blk``.  The signal
+        bound to ``local_blk`` fires here when the data has arrived; the
+        signal bound to ``remote_blk`` fires at the target when the read
+        completes (where the interface supports GET-remote custom bits —
+        elsewhere UNR sends a Level-0 control message after arrival)."""
+        unr = self.unr
+        if local_blk.rank != self.rank:
+            raise UnrUsageError(f"get local BLK belongs to rank {local_blk.rank}")
+        if local_blk.size != remote_blk.size:
+            raise UnrUsageError(
+                f"size mismatch: local {local_blk.size}B vs remote {remote_blk.size}B"
+            )
+        local_mr = unr._mr_of(local_blk)
+        remote_mr = unr._mr_of(remote_blk)
+        rsid = remote_blk.signal_sid if remote_sid is _UNSET else remote_sid
+        if local_signal is _UNSET:
+            lsid = local_blk.signal_sid
+        else:
+            lsid = None if local_signal is None else local_signal.sid
+        remote_node = unr._node_index(remote_blk.rank)
+
+        ch = unr.channel
+        software = getattr(ch, "software_notify", False)
+        rpol = unr.get_remote_policy
+        lpol = unr.get_local_policy
+        ctrl_remote = rsid is not None and (
+            rpol.level == 0 or rsid >= unr.sid_capacity
+        ) and not software
+
+        remote_view = remote_mr.slice(remote_blk.offset, remote_blk.size)
+        local_view = local_mr.slice(local_blk.offset, local_blk.size)
+        unr.stats["gets"] += 1
+        virtual = remote_view is None or local_view is None
+
+        remote_custom = local_custom = None
+        remote_action = local_action = None
+        if rsid is not None and not ctrl_remote:
+            if software or rpol.hw_offload:
+                remote_action = lambda n=remote_node, s=rsid: unr._apply_add(n, s, -1)
+            else:
+                remote_custom = encode_custom(rsid, -1, rpol)
+        if lsid is not None:
+            local_sw = lambda n=self.node_index, s=lsid: unr._apply_add(n, s, -1)
+            if software:
+                local_action = local_sw
+            elif lpol.hw_offload:
+                local_action = local_sw
+            elif lpol.level == 0:
+                pass  # applied via completion callback below
+            else:
+                local_custom = encode_custom(lsid, -1, lpol)
+
+        done = ch.get(
+            self.rank,
+            remote_blk.rank,
+            local_blk.size,
+            fetch=None if virtual else (lambda: remote_view.copy()),
+            on_deliver=None if virtual else (
+                lambda data: local_view.__setitem__(slice(None), data)
+            ),
+            remote_custom=remote_custom,
+            local_custom=local_custom,
+            remote_action=remote_action,
+            local_action=local_action,
+        )
+        if lsid is not None and not software and lpol.level == 0:
+            done.callbacks.append(lambda _e, fn=local_sw: fn())
+        if ctrl_remote:
+            # Notify the target after our read completed.
+            def after(_e):
+                self._post_ctrl(remote_blk.rank, remote_node, rsid, -1)
+
+            done.callbacks.append(after)
+
+    # -- plans ---------------------------------------------------------------
+    def plan(self) -> "RmaPlan":
+        """Record a reusable sequence of PUT/GET (paper: ``UNR_RMA_Plan``)."""
+        from .plan import RmaPlan
+
+        return RmaPlan(self)
+
+    def __repr__(self) -> str:
+        return f"<UnrEndpoint rank={self.rank}>"

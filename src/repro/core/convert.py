@@ -1,0 +1,155 @@
+"""MPI-conversion interfaces (paper Code 3).
+
+These helpers let applications swap two-sided MPI hotspots for UNR
+notifiable PUTs with minimal surgery: they perform the one-time BLK
+exchange (the implicit remote-address handshake) during initialization
+and return an :class:`~repro.core.plan.RmaPlan` that replays the
+transfers each iteration.
+
+All converters are generators (they communicate); drive them with
+``yield from`` during the setup phase — mirroring how the paper's
+``MPI_Isend_Convert`` consumes an ``mpi_request`` whose completion
+represents the address-information exchange.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .api import UnrEndpoint
+from .errors import UnrUsageError
+from .memory import MemoryRegion
+from .signal import Signal
+
+__all__ = [
+    "isend_convert",
+    "irecv_convert",
+    "sendrecv_convert",
+    "alltoallv_convert",
+]
+
+
+def isend_convert(
+    ep: UnrEndpoint,
+    mr: MemoryRegion,
+    offset: int,
+    nbytes: int,
+    dst: int,
+    tag: int,
+    send_finish_sig: Optional[Signal] = None,
+):
+    """Sender half of an Isend/Irecv pair → returns a one-PUT plan.
+
+    The matching receiver must run :func:`irecv_convert` with the same
+    ``tag``.  ``send_finish_sig`` (if given) triggers when the source
+    buffer is reusable."""
+    send_blk = ep.blk_init(mr, offset, nbytes, signal=send_finish_sig)
+    rmt_blk = yield from ep.recv_ctl(dst, tag=("cvt", tag))
+    if rmt_blk.size != nbytes:
+        raise UnrUsageError(
+            f"isend_convert: receiver posted {rmt_blk.size}B for a "
+            f"{nbytes}B send (tag={tag})"
+        )
+    plan = ep.plan()
+    plan.record_put(send_blk, rmt_blk)
+    return plan
+
+
+def irecv_convert(
+    ep: UnrEndpoint,
+    mr: MemoryRegion,
+    offset: int,
+    nbytes: int,
+    src: int,
+    tag: int,
+    recv_finish_sig: Optional[Signal] = None,
+):
+    """Receiver half: publishes the receive block to the sender.
+
+    Completion of each iteration's receive is observed through
+    ``recv_finish_sig`` (bound to the block)."""
+    recv_blk = ep.blk_init(mr, offset, nbytes, signal=recv_finish_sig)
+    yield from ep.send_ctl(src, recv_blk, tag=("cvt", tag))
+    return recv_blk
+
+
+def sendrecv_convert(
+    ep: UnrEndpoint,
+    send_mr: MemoryRegion,
+    send_offset: int,
+    send_nbytes: int,
+    dst: int,
+    recv_mr: MemoryRegion,
+    recv_offset: int,
+    recv_nbytes: int,
+    src: int,
+    tag: int,
+    send_finish_sig: Optional[Signal] = None,
+    recv_finish_sig: Optional[Signal] = None,
+):
+    """Bidirectional neighbour exchange (paper's ``MPI_Sendrecv_Convert``).
+
+    Used by the PDD tridiagonal solver's top/bottom neighbour traffic."""
+    recv_blk = ep.blk_init(recv_mr, recv_offset, recv_nbytes, signal=recv_finish_sig)
+    yield from ep.send_ctl(src, recv_blk, tag=("cvt", tag))
+    send_blk = ep.blk_init(send_mr, send_offset, send_nbytes, signal=send_finish_sig)
+    rmt_blk = yield from ep.recv_ctl(dst, tag=("cvt", tag))
+    plan = ep.plan()
+    plan.record_put(send_blk, rmt_blk)
+    return plan
+
+
+def alltoallv_convert(
+    ep: UnrEndpoint,
+    ranks: Sequence[int],
+    send_mr: MemoryRegion,
+    send_counts: Sequence[int],
+    send_displs: Sequence[int],
+    recv_mr: MemoryRegion,
+    recv_counts: Sequence[int],
+    recv_displs: Sequence[int],
+    send_finish_sig: Optional[Signal] = None,
+    recv_finish_sig: Optional[Signal] = None,
+):
+    """All-to-all(v) over the ranks of a (sub-)communicator → PUT plan.
+
+    ``ranks`` lists the communicator's global ranks (this endpoint's
+    rank included); counts/displacements are in **bytes** relative to
+    the registered regions.  Bind ``recv_finish_sig`` with
+    ``num_event = len(ranks)`` to observe the whole exchange, or a
+    smaller ``num_event`` plus per-slab signals for pipelining."""
+    ranks = list(ranks)
+    if ep.rank not in ranks:
+        raise UnrUsageError("alltoallv_convert: caller not in the rank list")
+    n = len(ranks)
+    if not (len(send_counts) == len(send_displs) == n):
+        raise UnrUsageError("send counts/displs length mismatch")
+    if not (len(recv_counts) == len(recv_displs) == n):
+        raise UnrUsageError("recv counts/displs length mismatch")
+    me = ranks.index(ep.rank)
+
+    # Publish my receive slots to every peer (their slot in my buffer).
+    for j, peer in enumerate(ranks):
+        if recv_counts[j] == 0:
+            continue
+        blk = ep.blk_init(recv_mr, recv_displs[j], recv_counts[j], signal=recv_finish_sig)
+        yield from ep.send_ctl(peer, blk, tag=("a2av", me))
+
+    # Collect every peer's slot for me and record the PUTs.
+    plan = ep.plan()
+    remote_blks: List = [None] * n
+    for j, peer in enumerate(ranks):
+        if send_counts[j] == 0:
+            continue
+        rmt = yield from ep.recv_ctl(peer, tag=("a2av", j))
+        if rmt.size != send_counts[j]:
+            raise UnrUsageError(
+                f"alltoallv_convert: peer {peer} posted {rmt.size}B, "
+                f"I send {send_counts[j]}B"
+            )
+        remote_blks[j] = rmt
+        send_blk = ep.blk_init(
+            send_mr, send_displs[j], send_counts[j], signal=send_finish_sig
+        )
+        plan.record_put(send_blk, rmt)
+    return plan

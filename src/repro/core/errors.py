@@ -1,0 +1,41 @@
+"""UNR error and warning types (bug-avoiding interfaces, paper §IV-D)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "UnrError",
+    "UnrSyncError",
+    "UnrOverflowError",
+    "UnrUsageError",
+    "UnrSyncWarning",
+    "UnrDegradeWarning",
+]
+
+
+class UnrError(RuntimeError):
+    """Base class for UNR errors."""
+
+
+class UnrSyncError(UnrError):
+    """A synchronization error detected by ``sig_reset`` in strict mode:
+    one or more messages arrived *before* the application declared the
+    buffer ready (counter was not zero at reset time)."""
+
+
+class UnrOverflowError(UnrError):
+    """``sig_wait`` found the event-overflow detect bit set: more than
+    ``num_event`` events were delivered to the signal."""
+
+
+class UnrUsageError(UnrError):
+    """API misuse: bad handle, wrong rank, out-of-range block, …"""
+
+
+class UnrSyncWarning(UserWarning):
+    """Non-strict-mode variant of :class:`UnrSyncError`."""
+
+
+class UnrDegradeWarning(UserWarning):
+    """Signal table exceeded the custom-bit capacity of this support
+    level; operations on overflowed signals fall back to the Level-0
+    ordered-message scheme (performance may degrade — paper Table I)."""

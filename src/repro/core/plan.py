@@ -1,0 +1,75 @@
+"""RMA plans: record once, replay every iteration (paper §IV-D).
+
+``UNR_RMA_Plan()`` records a series of PUT/GET before entering the main
+loop of the application; ``UNR_Plan_Start()`` re-executes them.  Plans
+remove per-iteration descriptor building from the critical path and are
+the natural target of the MPI-conversion interfaces (Code 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .memory import Blk
+
+__all__ = ["RmaPlan", "PlannedOp"]
+
+
+@dataclass(frozen=True)
+class PlannedOp:
+    """One recorded operation."""
+
+    kind: str  # 'put' | 'get'
+    src: Blk
+    dst: Blk
+    remote_sid: Optional[int]
+    has_remote_override: bool
+
+
+class RmaPlan:
+    """A recorded sequence of RMA operations for one endpoint."""
+
+    def __init__(self, endpoint):
+        self.endpoint = endpoint
+        self._ops: List[PlannedOp] = []
+        self.n_starts = 0
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def record_put(self, src_blk: Blk, dst_blk: Blk, *, remote_sid=None, override=False) -> "RmaPlan":
+        """Record a PUT (chainable)."""
+        self._ops.append(PlannedOp("put", src_blk, dst_blk, remote_sid, override))
+        return self
+
+    def record_get(self, local_blk: Blk, remote_blk: Blk, *, remote_sid=None, override=False) -> "RmaPlan":
+        """Record a GET (chainable)."""
+        self._ops.append(PlannedOp("get", local_blk, remote_blk, remote_sid, override))
+        return self
+
+    def merge(self, other: "RmaPlan") -> "RmaPlan":
+        """Append all of ``other``'s operations to this plan."""
+        if other.endpoint is not self.endpoint:
+            raise ValueError("cannot merge plans from different endpoints")
+        self._ops.extend(other._ops)
+        return self
+
+    def start(self) -> None:
+        """Post every recorded operation (paper: ``UNR_Plan_Start``).
+
+        Non-blocking, like the individual operations: completion is
+        observed through the signals bound to the blocks (or recorded
+        overrides)."""
+        ep = self.endpoint
+        self.n_starts += 1
+        for op in self._ops:
+            kwargs = {}
+            if op.has_remote_override:
+                kwargs["remote_sid"] = op.remote_sid
+            if op.kind == "put":
+                ep.put(op.src, op.dst, **kwargs)
+            else:
+                ep.get(op.src, op.dst, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"<RmaPlan ops={len(self._ops)} starts={self.n_starts}>"

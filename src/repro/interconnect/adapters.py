@@ -1,0 +1,93 @@
+"""Concrete interface adapters: one :class:`RmaChannel` per Table II row.
+
+All six adapters share the generic RMA engine; what differs is the
+capability descriptor (custom-bit widths) — which is exactly the paper's
+point: once the Notifiable RMA Primitives are abstracted, only the
+width bookkeeping is platform-specific.
+"""
+
+from __future__ import annotations
+
+from .capabilities import TABLE_II
+from .channel import RmaChannel
+
+__all__ = [
+    "GlexChannel",
+    "VerbsChannel",
+    "UtofuChannel",
+    "UgniChannel",
+    "PamiChannel",
+    "PortalsChannel",
+    "CHANNEL_TYPES",
+    "make_channel",
+]
+
+
+class GlexChannel(RmaChannel):
+    """TH Express GLEX: 128 custom bits everywhere → Level 3 (4 with
+    hardware atomic offload, the co-design the paper proposes)."""
+
+    capability = TABLE_II["glex"]
+    name = "glex"
+
+
+class VerbsChannel(RmaChannel):
+    """libibverbs (InfiniBand / RoCE / Slingshot): 32-bit immediate data
+    on RDMA-write-with-imm, no remote bits on reads → Level 2."""
+
+    capability = TABLE_II["verbs"]
+    name = "verbs"
+
+
+class UtofuChannel(RmaChannel):
+    """Fujitsu uTofu: 8 remote custom bits → Level 1."""
+
+    capability = TABLE_II["utofu"]
+    name = "utofu"
+
+
+class UgniChannel(RmaChannel):
+    """Cray uGNI (Aries): 32 bits → Level 2."""
+
+    capability = TABLE_II["ugni"]
+    name = "ugni"
+
+
+class PamiChannel(RmaChannel):
+    """IBM PAMI (Blue Gene/Q): 64 bits shared between local and remote
+    → effectively 32 each → Level 2."""
+
+    capability = TABLE_II["pami"]
+    name = "pami"
+
+
+class PortalsChannel(RmaChannel):
+    """Portals 3.3 (SeaStar): 64 remote bits; no local custom bits but
+    the memory-region/offset pair is a usable local hash → Level 3."""
+
+    capability = TABLE_II["portals"]
+    name = "portals"
+
+
+CHANNEL_TYPES = {
+    cls.name: cls
+    for cls in (
+        GlexChannel,
+        VerbsChannel,
+        UtofuChannel,
+        UgniChannel,
+        PamiChannel,
+        PortalsChannel,
+    )
+}
+
+
+def make_channel(name: str, job) -> RmaChannel:
+    """Instantiate the adapter registered under ``name`` for ``job``."""
+    try:
+        cls = CHANNEL_TYPES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown channel {name!r}; known: {sorted(CHANNEL_TYPES)}"
+        ) from None
+    return cls(job)

@@ -1,0 +1,189 @@
+"""UNR Transport Channel base: Notifiable RMA Primitives over a Job.
+
+A channel exposes notifiable PUT/GET between *ranks*: the custom-bit
+payloads are validated against the interface's :class:`Capability`
+widths (too-wide payloads raise :class:`ChannelError` — the UNR
+transport layer must encode within platform limits; that is the whole
+point of the support levels).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..netsim import CompletionRecord
+from ..runtime import Job
+from ..sim import Event
+from .capabilities import Capability, support_level
+
+__all__ = ["ChannelError", "RmaChannel"]
+
+
+class ChannelError(RuntimeError):
+    """Custom-bit overflow or unsupported primitive on this interface."""
+
+
+def _check_width(value: Optional[int], bits: int, what: str, interface: str) -> int:
+    if value is None:
+        return 0
+    if value < 0:
+        raise ChannelError(f"{what}: custom bits must be packed unsigned, got {value}")
+    if bits == 0:
+        raise ChannelError(
+            f"{interface} provides no custom bits for {what}; "
+            "use the Level-0 ordered-message scheme instead"
+        )
+    if value.bit_length() > bits:
+        raise ChannelError(
+            f"{what}: value needs {value.bit_length()} bits, "
+            f"{interface} provides {bits}"
+        )
+    return value
+
+
+class RmaChannel:
+    """Notifiable RMA over one interface for all ranks of a job."""
+
+    #: overridden by subclasses
+    capability: Capability = None  # type: ignore[assignment]
+    name: str = "abstract"
+    #: True when notification is delivered by the channel software itself
+    #: (MPI fallback) rather than via CQ entries + polling.
+    software_notify: bool = False
+
+    def __init__(self, job: Job):
+        if self.capability is None:
+            raise TypeError("RmaChannel subclasses must define a capability")
+        self.job = job
+        self.env = job.env
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rails(self) -> int:
+        return self.job.cluster.spec.node.nics
+
+    def hw_atomic_offload(self) -> bool:
+        """True when the simulated NICs implement Level-4 atomic add."""
+        return bool(self.job.cluster.spec.nic.atomic_offload)
+
+    def level(self) -> int:
+        """UNR support level of this channel on this cluster."""
+        return support_level(self.capability, self.hw_atomic_offload())
+
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        nbytes: int,
+        *,
+        payload: Any = None,
+        on_deliver: Optional[Callable[[Any], None]] = None,
+        remote_custom: Optional[int] = None,
+        local_custom: Optional[int] = None,
+        remote_action: Optional[Callable[[], None]] = None,
+        local_action: Optional[Callable[[], None]] = None,
+        rail: int = 0,
+        ordered: bool = False,
+    ) -> Event:
+        """Notifiable PUT; returns the local-completion event.
+
+        ``remote_custom``/``local_custom`` land in the corresponding
+        CQ entries.  ``remote_action``/``local_action`` are Level-4
+        hardware atomic adds executed by the NIC when supported.
+        """
+        cap = self.capability
+        if remote_action is None or not self.hw_atomic_offload():
+            _check_width(remote_custom, cap.effective_put_remote, "PUT remote", cap.interface)
+        if local_action is None or not self.hw_atomic_offload():
+            _check_width(local_custom, cap.effective_put_local, "PUT local", cap.interface)
+        src_nic = self.job.nic_of(src_rank, rail)
+        dst_nic = self.job.nic_of(dst_rank, rail)
+        remote_record = None
+        if remote_custom is not None:
+            remote_record = CompletionRecord(
+                kind="put_remote",
+                custom=remote_custom,
+                nbytes=nbytes,
+                src_node=src_nic.node.index,
+                dst_node=dst_nic.node.index,
+                post_time=self.env.now,
+            )
+        local_record = None
+        if local_custom is not None:
+            local_record = CompletionRecord(
+                kind="put_local",
+                custom=local_custom,
+                nbytes=nbytes,
+                src_node=src_nic.node.index,
+                dst_node=dst_nic.node.index,
+                post_time=self.env.now,
+            )
+        return src_nic.post_put(
+            dst_nic,
+            nbytes,
+            payload=payload,
+            on_deliver=on_deliver,
+            local_record=local_record,
+            remote_record=remote_record,
+            remote_action=remote_action,
+            local_action=local_action,
+            ordered=ordered,
+        )
+
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        nbytes: int,
+        *,
+        fetch: Optional[Callable[[], Any]] = None,
+        on_deliver: Optional[Callable[[Any], None]] = None,
+        remote_custom: Optional[int] = None,
+        local_custom: Optional[int] = None,
+        remote_action: Optional[Callable[[], None]] = None,
+        local_action: Optional[Callable[[], None]] = None,
+        rail: int = 0,
+    ) -> Event:
+        """Notifiable GET from ``dst_rank``'s memory into ``src_rank``'s."""
+        cap = self.capability
+        if remote_action is None or not self.hw_atomic_offload():
+            _check_width(remote_custom, cap.effective_get_remote, "GET remote", cap.interface)
+        if local_action is None or not self.hw_atomic_offload():
+            _check_width(local_custom, cap.effective_get_local, "GET local", cap.interface)
+        src_nic = self.job.nic_of(src_rank, rail)
+        dst_nic = self.job.nic_of(dst_rank, rail)
+        remote_record = None
+        if remote_custom is not None:
+            remote_record = CompletionRecord(
+                kind="get_remote",
+                custom=remote_custom,
+                nbytes=nbytes,
+                src_node=src_nic.node.index,
+                dst_node=dst_nic.node.index,
+                post_time=self.env.now,
+            )
+        local_record = None
+        if local_custom is not None:
+            local_record = CompletionRecord(
+                kind="get_local",
+                custom=local_custom,
+                nbytes=nbytes,
+                src_node=src_nic.node.index,
+                dst_node=dst_nic.node.index,
+                post_time=self.env.now,
+            )
+        return src_nic.post_get(
+            dst_nic,
+            nbytes,
+            fetch=fetch,
+            on_deliver=on_deliver,
+            local_record=local_record,
+            remote_record=remote_record,
+            remote_action=remote_action,
+            local_action=local_action,
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} level={self.level()}>"

@@ -1,0 +1,38 @@
+"""Simulated MPI substrate: two-sided p2p, collectives, RMA windows.
+
+This is the baseline the paper compares against (Figure 4: MPI-RMA
+under Fence / PSCW / Lock-Flush synchronization) and the backend of the
+unoptimized PowerLLEL.  Import order matters: collectives attach
+methods to :class:`Comm`.
+"""
+
+from .config import MpiConfig
+from .world import Comm, MpiError, MpiWorld, Phantom, Request
+from . import collectives as _collectives  # noqa: F401 - attaches Comm methods
+from .collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    alltoallv,
+    barrier,
+    bcast,
+    reduce,
+)
+from .rma import Win
+
+__all__ = [
+    "Comm",
+    "MpiConfig",
+    "MpiError",
+    "MpiWorld",
+    "Phantom",
+    "Request",
+    "Win",
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "alltoallv",
+    "barrier",
+    "bcast",
+    "reduce",
+]

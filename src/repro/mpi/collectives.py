@@ -1,0 +1,166 @@
+"""MPI collectives over simulated point-to-point.
+
+Algorithms are the textbook ones (dissemination barrier, binomial
+bcast, recursive-doubling allreduce, pairwise-exchange alltoall(v),
+ring allgather), so their *cost* emerges from the p2p model rather than
+being asserted — which is what lets collective-heavy patterns (the
+PowerLLEL transposes) respond to platform parameters realistically.
+
+All functions are generators taking the per-rank :class:`Comm` as the
+first argument; they are also attached to :class:`Comm` as methods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .world import Comm, MpiError
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "allgather",
+    "alltoall",
+    "alltoallv",
+    "reduce",
+    "allreduce",
+]
+
+
+def barrier(comm: Comm):
+    """Dissemination barrier: ceil(log2 P) rounds of token exchange."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    k = 1
+    round_no = 0
+    while k < size:
+        dst = (rank + k) % size
+        src = (rank - k) % size
+        yield from comm.sendrecv(dst, b"", src, tag=("bar", round_no))
+        k <<= 1
+        round_no += 1
+
+
+def bcast(comm: Comm, data: Any, root: int = 0):
+    """Binomial-tree broadcast; returns the data on every rank."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return data
+    vrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            src = ((vrank - mask) + root) % size
+            data = yield from comm.recv(src, tag=("bc", mask))
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size and not (vrank & (mask - 1)) and not (vrank & mask):
+            dst = ((vrank + mask) + root) % size
+            yield from comm.send(dst, data, tag=("bc", mask))
+        mask >>= 1
+    return data
+
+
+def allgather(comm: Comm, data: Any) -> Any:
+    """Ring allgather; returns the list of every rank's contribution."""
+    size, rank = comm.size, comm.rank
+    out: List[Any] = [None] * size
+    out[rank] = data
+    if size == 1:
+        return out
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    carry = data
+    carry_owner = rank
+    for step in range(size - 1):
+        got = yield from comm.sendrecv(right, (carry_owner, carry), left, tag=("ag", step))
+        carry_owner, carry = got
+        out[carry_owner] = carry
+    return out
+
+
+def alltoall(comm: Comm, blocks: Sequence[Any]) -> Any:
+    """Alltoall of one block per peer (wrapper over :func:`alltoallv`)."""
+    return (yield from alltoallv(comm, list(blocks)))
+
+
+def alltoallv(comm: Comm, blocks: Sequence[Any]) -> Any:
+    """Pairwise-exchange all-to-all; ``blocks[j]`` goes to local rank j.
+
+    Returns a list where slot j holds rank j's block for me.  ``None``
+    entries transfer nothing.  The pairwise schedule (step ``s`` pairs
+    me with ``rank ^ s`` when P is a power of two, else a rotation)
+    is what real MPIs use for large messages.
+    """
+    size, rank = comm.size, comm.rank
+    if len(blocks) != size:
+        raise MpiError(f"alltoallv needs {size} blocks, got {len(blocks)}")
+    out: List[Any] = [None] * size
+    out[rank] = blocks[rank]
+    pow2 = size & (size - 1) == 0
+    for step in range(1, size):
+        if pow2:
+            peer = rank ^ step
+        else:
+            peer = (rank + step) % size
+            peer_recv = (rank - step) % size
+        if pow2:
+            send_to = recv_from = peer
+        else:
+            send_to, recv_from = peer, peer_recv
+        sreq = comm.isend(send_to, blocks[send_to], tag=("a2a", step))
+        got = yield from comm.recv(recv_from, tag=("a2a", step))
+        out[recv_from] = got
+        yield sreq.event
+    return out
+
+
+def reduce(comm: Comm, value: Any, op: Callable[[Any, Any], Any] = None, root: int = 0):
+    """Binomial-tree reduction to ``root`` (returns result there, None elsewhere)."""
+    op = op or _add
+    size, rank = comm.size, comm.rank
+    vrank = (rank - root) % size
+    acc = _snapshot(value)
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            dst = ((vrank & ~mask) + root) % size
+            yield from comm.send(dst, acc, tag=("red", mask))
+            return None
+        src_v = vrank | mask
+        if src_v < size:
+            got = yield from comm.recv((src_v + root) % size, tag=("red", mask))
+            acc = op(acc, got)
+        mask <<= 1
+    return acc
+
+
+def allreduce(comm: Comm, value: Any, op: Callable[[Any, Any], Any] = None):
+    """Reduce + broadcast (simple, correct for any op/commutativity)."""
+    op = op or _add
+    acc = yield from reduce(comm, value, op, root=0)
+    result = yield from bcast(comm, acc, root=0)
+    return result
+
+
+def _add(a, b):
+    return a + b
+
+
+def _snapshot(v):
+    return v.copy() if isinstance(v, np.ndarray) else v
+
+
+# Attach as Comm methods.
+Comm.barrier = barrier
+Comm.bcast = bcast
+Comm.allgather = allgather
+Comm.alltoall = alltoall
+Comm.alltoallv = alltoallv
+Comm.reduce = reduce
+Comm.allreduce = allreduce

@@ -1,0 +1,28 @@
+"""MPI implementation characteristics (software costs per platform).
+
+The simulated MPI is parameterized by the costs that differentiate real
+vendor MPIs: per-message software overhead, eager/rendezvous threshold,
+and the synchronization-epoch overheads of the three MPI-RMA schemes
+(Fence, PSCW, Lock/Flush) compared in the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MpiConfig"]
+
+
+@dataclass(frozen=True)
+class MpiConfig:
+    """Costs of the host MPI library (seconds-scale values in µs)."""
+
+    eager_threshold: int = 16 * 1024
+    sw_overhead_us: float = 0.5  # per-message send/match cost
+    rendezvous_rtts: float = 1.0  # RTS/CTS round trips above threshold
+    #: per-call cost of opening/closing an RMA access epoch
+    fence_overhead_us: float = 1.0
+    pscw_overhead_us: float = 0.6
+    lock_overhead_us: float = 0.4
+    #: software cost of posting one RMA put/get descriptor
+    rma_op_overhead_us: float = 0.3

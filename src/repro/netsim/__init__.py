@@ -1,0 +1,32 @@
+"""Simulated HPC cluster: nodes, multi-rail NICs, fabric, CPU cores.
+
+This package is the hardware substitute mandated by the reproduction
+plan (DESIGN.md §1): it provides the *semantics* of Notifiable RMA
+Primitives — RDMA PUT/GET whose completions carry custom bits into
+finite completion queues — plus a calibrated latency/bandwidth/
+contention model so the paper's performance shapes carry over.
+"""
+
+from .cluster import Cluster
+from .nic import CompletionQueue, CompletionRecord, CqOverflowError, Nic
+from .node import CpuSet, Node
+from .spec import GBPS, US, ClusterSpec, FabricSpec, NicSpec, NodeSpec
+from .trace import MessageTrace, TraceRecord
+
+__all__ = [
+    "GBPS",
+    "US",
+    "Cluster",
+    "ClusterSpec",
+    "CompletionQueue",
+    "CompletionRecord",
+    "CqOverflowError",
+    "CpuSet",
+    "FabricSpec",
+    "Nic",
+    "NicSpec",
+    "MessageTrace",
+    "Node",
+    "NodeSpec",
+    "TraceRecord",
+]

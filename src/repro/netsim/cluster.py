@@ -1,0 +1,64 @@
+"""Cluster assembly: nodes + NICs + fabric from a :class:`ClusterSpec`."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..sim import Environment
+from .node import Node
+from .spec import ClusterSpec
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A simulated machine.
+
+    >>> from repro.netsim import Cluster, ClusterSpec, NodeSpec, NicSpec
+    >>> spec = ClusterSpec("toy", 2, NodeSpec(cores=4, nics=2),
+    ...                    NicSpec(bandwidth_gbps=100, latency_us=1.0))
+    >>> cluster = Cluster(Environment(), spec)
+    >>> cluster.nodes[0].n_rails
+    2
+    """
+
+    def __init__(self, env: Environment, spec: ClusterSpec):
+        self.env = env
+        self.spec = spec
+        self.rng = np.random.default_rng(spec.seed)
+        self.nodes: List[Node] = []
+        for i in range(spec.n_nodes):
+            node = Node(env, i, spec.node, spec.fabric, seed=int(self.rng.integers(0, 2**63 - 1)))
+            node._attach_nics(spec.nic, spec.node.nics)
+            self.nodes.append(node)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, index: int) -> Node:
+        return self.nodes[index]
+
+    def total_traffic(self) -> dict:
+        """Aggregate NIC counters (for tests and benchmark reports)."""
+        tx_msgs = tx_bytes = rx_msgs = rx_bytes = 0
+        stalls = 0
+        for node in self.nodes:
+            for nic in node.nics:
+                tx_msgs += nic.tx_msgs
+                tx_bytes += nic.tx_bytes
+                rx_msgs += nic.rx_msgs
+                rx_bytes += nic.rx_bytes
+                stalls += nic.cq.n_overflow_stalls
+        return {
+            "tx_msgs": tx_msgs,
+            "tx_bytes": tx_bytes,
+            "rx_msgs": rx_msgs,
+            "rx_bytes": rx_bytes,
+            "cq_overflow_stalls": stalls,
+        }
+
+    def __repr__(self) -> str:
+        return f"<Cluster {self.spec.name!r} nodes={self.n_nodes}>"

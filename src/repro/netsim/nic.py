@@ -1,0 +1,366 @@
+"""NIC model: RDMA engines with completion queues and custom bits.
+
+The NIC is where the paper's *Notifiable RMA Primitives* live: a PUT or
+GET posted here produces completion records on the local and/or remote
+completion queue (CQ), each carrying an opaque ``custom`` integer — the
+"custom bits" whose width varies by interconnect (paper Table II).  The
+interconnect adapters in :mod:`repro.interconnect` mask ``custom`` to
+their platform's width; this module is width-agnostic.
+
+Timing model (cut-through, busy-until bookkeeping):
+
+* sender serializes injections: ``tx_start = max(now, tx_free)``,
+  ``tx_end = tx_start + overhead + nbytes / bw``;
+* first byte reaches the receiver ``latency`` after it leaves;
+* the receiver port serializes concurrent incoming flows;
+* adaptive routing adds per-message jitter proportional to the
+  serialization time, so striped fragments arrive out of order unless
+  ``ordered=True`` is requested (used by the Level-0 control channel and
+  the MPI fallback).
+
+Level-4 co-design: when :attr:`NicSpec.atomic_offload` is set and the
+caller passes ``remote_action``, the NIC executes the action (an atomic
+``*p += a``) directly at delivery time and posts **no** CQ entry — no
+polling thread needed, reproducing the paper's §IV-C proposal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..sim import Environment, Event, Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .node import Node
+
+__all__ = ["CompletionRecord", "CompletionQueue", "Nic", "CqOverflowError"]
+
+
+class CqOverflowError(RuntimeError):
+    """Raised when a CQ overflows and the cluster is in strict mode."""
+
+
+@dataclass
+class CompletionRecord:
+    """One completion-queue entry.
+
+    ``kind`` is one of ``put_local``, ``put_remote``, ``get_local``,
+    ``get_remote`` or ``msg`` (plain two-sided style delivery used by the
+    MPI fallback channel).  ``custom`` is the raw custom-bits payload.
+    """
+
+    kind: str
+    custom: int = 0
+    nbytes: int = 0
+    src_node: int = -1
+    dst_node: int = -1
+    tag: Any = None
+    payload: Any = None
+    post_time: float = 0.0
+    complete_time: float = 0.0
+
+
+class CompletionQueue:
+    """Finite-depth completion queue with overflow accounting.
+
+    ``push`` is a *process step*: it blocks (backpressure) while the
+    queue is full, which is how an un-polled NIC degrades — exactly the
+    failure mode the polling thread (levels 0–3) and the Level-4
+    hardware offload exist to prevent.
+    """
+
+    def __init__(self, env: Environment, depth: int):
+        self.env = env
+        self.depth = depth
+        self._store = Store(env, capacity=depth)
+        self.high_water = 0
+        self.n_pushed = 0
+        self.n_overflow_stalls = 0
+        self.stall_time = 0.0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def is_full(self) -> bool:
+        return self._store.is_full
+
+    def push(self, record: CompletionRecord):
+        """Generator: enqueue ``record``, stalling while the CQ is full."""
+        if self._store.is_full:
+            self.n_overflow_stalls += 1
+            t0 = self.env.now
+            yield self._store.put(record)
+            self.stall_time += self.env.now - t0
+        else:
+            yield self._store.put(record)
+        self.n_pushed += 1
+        self.high_water = max(self.high_water, len(self._store))
+
+    def poll(self) -> Optional[CompletionRecord]:
+        """Non-blocking: pop one record or return ``None``."""
+        return self._store.try_get()
+
+    def poll_batch(self, limit: int = 64) -> list:
+        """Pop up to ``limit`` records without blocking."""
+        out = []
+        for _ in range(limit):
+            rec = self._store.try_get()
+            if rec is None:
+                break
+            out.append(rec)
+        return out
+
+    def get(self) -> Event:
+        """Blocking pop (used by event-driven pollers)."""
+        return self._store.get()
+
+
+@dataclass
+class _PortState:
+    """Busy-until bookkeeping for one direction of one NIC."""
+
+    free_at: float = 0.0
+
+
+class Nic:
+    """One RDMA-capable network interface."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: "Node",
+        index: int,
+        spec,
+        fabric,
+        rng: np.random.Generator,
+    ):
+        self.env = env
+        self.node = node
+        self.index = index
+        self.spec = spec
+        self.fabric = fabric
+        self.rng = rng
+        self.cq = CompletionQueue(env, spec.cq_depth)
+        self._tx = _PortState()
+        self._rx = _PortState()
+        self._tx_msg_free = 0.0  # message-issue-rate horizon (doorbells)
+        # Per-source ordered-delivery horizon (for ordered=True traffic).
+        self._ordered_horizon: dict = {}
+        # Traffic counters.
+        self.tx_msgs = 0
+        self.tx_bytes = 0
+        self.rx_msgs = 0
+        self.rx_bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def global_id(self) -> tuple:
+        return (self.node.index, self.index)
+
+    def _wire_latency(self, dst: "Nic") -> float:
+        if dst.node is self.node:
+            return self.fabric.intra_node_latency
+        return self.spec.latency
+
+    def _bandwidth_to(self, dst: "Nic") -> float:
+        if dst.node is self.node:
+            return self.fabric.intra_node_bandwidth
+        return min(self.spec.bandwidth, dst.spec.bandwidth)
+
+    def _jitter(self, dst: "Nic", serialization: float, ordered: bool) -> float:
+        if ordered or dst.node is self.node:
+            return 0.0
+        return float(self.rng.uniform(0.0, self.fabric.routing_jitter * serialization))
+
+    # ------------------------------------------------------------------
+    def post_put(
+        self,
+        dst: "Nic",
+        nbytes: int,
+        *,
+        payload: Any = None,
+        on_deliver: Optional[Callable[[Any], None]] = None,
+        local_record: Optional[CompletionRecord] = None,
+        remote_record: Optional[CompletionRecord] = None,
+        remote_action: Optional[Callable[[], None]] = None,
+        local_action: Optional[Callable[[], None]] = None,
+        ordered: bool = False,
+    ) -> Event:
+        """Post an RDMA write of ``nbytes`` to ``dst``.
+
+        Returns an event that fires at *local completion* (source buffer
+        reusable).  ``on_deliver(payload)`` runs at the instant the data
+        lands in the destination memory.  ``remote_record`` /
+        ``local_record`` are CQ entries to post; ``remote_action`` /
+        ``local_action`` are Level-4 hardware atomic actions executed
+        instead of (or in addition to) CQ entries when the corresponding
+        NIC supports :attr:`~repro.netsim.spec.NicSpec.atomic_offload`.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        env = self.env
+        now = env.now
+        if dst.node is self.node:
+            # Intra-node: a memcpy through shared memory — it does not
+            # occupy the NIC tx/rx ports (real stacks use CMA/XPMEM).
+            lb = self.node.__dict__.setdefault("_loopback_free", 0.0)
+            start = max(now, lb)
+            tx_end = start + nbytes / self.fabric.intra_node_bandwidth
+            self.node._loopback_free = tx_end
+            deliver_at = tx_end + self.fabric.intra_node_latency
+            if ordered:
+                key = self.global_id
+                deliver_at = max(deliver_at, dst._ordered_horizon.get(key, 0.0))
+                dst._ordered_horizon[key] = deliver_at
+        elif nbytes <= self.fabric.small_message_cutoff:
+            # Small messages interleave with bulk traffic at packet
+            # granularity: they do not wait for the ports' bandwidth
+            # busy-until windows — but they do consume the NIC's
+            # message-issue rate (one doorbell/WQE per message).
+            bw = self._bandwidth_to(dst)
+            serialization = nbytes / bw
+            start = max(now, self._tx_msg_free)
+            self._tx_msg_free = start + self.spec.msg_overhead
+            tx_end = start + self.spec.msg_overhead + serialization
+            latency = self._wire_latency(dst)
+            deliver_at = (
+                tx_end
+                + latency
+                + dst.spec.rx_overhead
+                + self._jitter(dst, serialization, ordered)
+            )
+            if ordered:
+                key = self.global_id
+                deliver_at = max(deliver_at, dst._ordered_horizon.get(key, 0.0))
+                dst._ordered_horizon[key] = deliver_at
+        else:
+            bw = self._bandwidth_to(dst)
+            tx_start = max(now, self._tx.free_at)
+            serialization = nbytes / bw
+            tx_end = tx_start + self.spec.msg_overhead + serialization
+            self._tx.free_at = tx_end
+            latency = self._wire_latency(dst)
+            first_byte = tx_start + self.spec.msg_overhead + latency
+            rx_start = max(first_byte, dst._rx.free_at)
+            dst._rx.free_at = rx_start + serialization
+            deliver_at = (
+                max(tx_end + latency, rx_start + serialization)
+                + dst.spec.rx_overhead
+                + self._jitter(dst, serialization, ordered)
+            )
+            if ordered:
+                key = self.global_id
+                deliver_at = max(deliver_at, dst._ordered_horizon.get(key, 0.0))
+                dst._ordered_horizon[key] = deliver_at
+
+        self.tx_msgs += 1
+        self.tx_bytes += nbytes
+        done = env.event()
+
+        def local_side():
+            yield env.timeout(tx_end - now)
+            if local_action is not None and self.spec.atomic_offload:
+                local_action()
+            elif local_record is not None:
+                local_record.complete_time = env.now
+                yield from self.cq.push(local_record)
+            done.succeed(tx_end)
+
+        def remote_side():
+            yield env.timeout(deliver_at - now)
+            dst.rx_msgs += 1
+            dst.rx_bytes += nbytes
+            if on_deliver is not None:
+                on_deliver(payload)
+            if remote_action is not None and dst.spec.atomic_offload:
+                remote_action()
+            elif remote_record is not None:
+                remote_record.complete_time = env.now
+                yield from dst.cq.push(remote_record)
+
+        env.process(local_side(), name="nic-put-local")
+        env.process(remote_side(), name="nic-put-remote")
+        return done
+
+    # ------------------------------------------------------------------
+    def post_get(
+        self,
+        dst: "Nic",
+        nbytes: int,
+        *,
+        fetch: Optional[Callable[[], Any]] = None,
+        on_deliver: Optional[Callable[[Any], None]] = None,
+        local_record: Optional[CompletionRecord] = None,
+        remote_record: Optional[CompletionRecord] = None,
+        local_action: Optional[Callable[[], None]] = None,
+        remote_action: Optional[Callable[[], None]] = None,
+    ) -> Event:
+        """Post an RDMA read of ``nbytes`` from ``dst`` (round trip).
+
+        ``fetch()`` snapshots the remote data when the request reaches
+        the target; ``on_deliver(data)`` lands it locally.  The returned
+        event fires at local completion (data available).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        env = self.env
+        now = env.now
+        bw = self._bandwidth_to(dst)
+        # Request leg: minimal message.
+        tx_start = max(now, self._tx.free_at)
+        req_end = tx_start + self.spec.msg_overhead
+        self._tx.free_at = req_end
+        latency = self._wire_latency(dst)
+        req_arrive = req_end + latency
+        # Response leg: target injects the data back.
+        serialization = nbytes / bw
+        resp_start = max(req_arrive, dst._tx.free_at)
+        resp_end = resp_start + dst.spec.msg_overhead + serialization
+        dst._tx.free_at = resp_end
+        rx_start = max(resp_start + dst.spec.msg_overhead + latency, self._rx.free_at)
+        self._rx.free_at = rx_start + serialization
+        deliver_at = (
+            max(resp_end + latency, rx_start + serialization)
+            + self.spec.rx_overhead
+            + self._jitter(dst, serialization, ordered=False)
+        )
+
+        self.tx_msgs += 1
+        dst.tx_msgs += 1
+        dst.tx_bytes += nbytes
+        self.rx_msgs += 1
+        self.rx_bytes += nbytes
+        done = env.event()
+        box = {}
+
+        def remote_side():
+            yield env.timeout(resp_end - now)
+            if fetch is not None:
+                box["data"] = fetch()
+            if remote_action is not None and dst.spec.atomic_offload:
+                remote_action()
+            elif remote_record is not None:
+                remote_record.complete_time = env.now
+                yield from dst.cq.push(remote_record)
+
+        def local_side():
+            yield env.timeout(deliver_at - now)
+            if on_deliver is not None:
+                on_deliver(box.get("data"))
+            if local_action is not None and self.spec.atomic_offload:
+                local_action()
+            elif local_record is not None:
+                local_record.complete_time = env.now
+                yield from self.cq.push(local_record)
+            done.succeed(env.now)
+
+        env.process(remote_side(), name="nic-get-remote")
+        env.process(local_side(), name="nic-get-local")
+        return done
+
+    def __repr__(self) -> str:
+        return f"<Nic node={self.node.index} rail={self.index}>"

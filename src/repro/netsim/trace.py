@@ -1,0 +1,156 @@
+"""Message tracing: record every transfer a cluster performs.
+
+Attach a :class:`MessageTrace` to a cluster *before* running and every
+``post_put``/``post_get`` is recorded with its size, endpoints and
+timing.  Useful for debugging communication schedules (who sent what
+when), asserting traffic invariants in tests, and producing the
+text timelines used in the examples.
+
+>>> trace = MessageTrace.attach(cluster)
+>>> ...run...
+>>> trace.summary()["n_messages"]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .nic import Nic
+
+__all__ = ["TraceRecord", "MessageTrace"]
+
+
+@dataclass
+class TraceRecord:
+    """One recorded transfer."""
+
+    kind: str  # 'put' | 'get'
+    src_node: int
+    src_rail: int
+    dst_node: int
+    dst_rail: int
+    nbytes: int
+    post_time: float
+    deliver_time: Optional[float] = None
+    ordered: bool = False
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.deliver_time is None:
+            return None
+        return self.deliver_time - self.post_time
+
+    @property
+    def intra_node(self) -> bool:
+        return self.src_node == self.dst_node
+
+
+class MessageTrace:
+    """Records transfers by wrapping the NICs' post methods."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+        self._attached = False
+
+    @classmethod
+    def attach(cls, cluster) -> "MessageTrace":
+        """Instrument every NIC of ``cluster``; returns the trace."""
+        trace = cls()
+        for node in cluster.nodes:
+            for nic in node.nics:
+                trace._wrap(nic)
+        trace._attached = True
+        return trace
+
+    def _wrap(self, nic: Nic) -> None:
+        orig_put = nic.post_put
+        orig_get = nic.post_get
+        records = self.records
+
+        def post_put(dst, nbytes, *, on_deliver=None, ordered=False, **kw):
+            rec = TraceRecord(
+                kind="put",
+                src_node=nic.node.index, src_rail=nic.index,
+                dst_node=dst.node.index, dst_rail=dst.index,
+                nbytes=nbytes, post_time=nic.env.now, ordered=ordered,
+            )
+            records.append(rec)
+
+            def deliver(payload):
+                rec.deliver_time = nic.env.now
+                if on_deliver is not None:
+                    on_deliver(payload)
+
+            return orig_put(dst, nbytes, on_deliver=deliver, ordered=ordered, **kw)
+
+        def post_get(dst, nbytes, *, on_deliver=None, **kw):
+            rec = TraceRecord(
+                kind="get",
+                src_node=nic.node.index, src_rail=nic.index,
+                dst_node=dst.node.index, dst_rail=dst.index,
+                nbytes=nbytes, post_time=nic.env.now,
+            )
+            records.append(rec)
+
+            def deliver(payload):
+                rec.deliver_time = nic.env.now
+                if on_deliver is not None:
+                    on_deliver(payload)
+
+            return orig_get(dst, nbytes, on_deliver=deliver, **kw)
+
+        nic.post_put = post_put  # type: ignore[method-assign]
+        nic.post_get = post_get  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def filter(self, predicate: Callable[[TraceRecord], bool]) -> List[TraceRecord]:
+        return [r for r in self.records if predicate(r)]
+
+    def between(self, src_node: int, dst_node: int) -> List[TraceRecord]:
+        return self.filter(
+            lambda r: r.src_node == src_node and r.dst_node == dst_node
+        )
+
+    def summary(self) -> Dict:
+        """Aggregate statistics over all delivered messages."""
+        delivered = [r for r in self.records if r.deliver_time is not None]
+        lat = [r.latency for r in delivered]
+        return {
+            "n_messages": len(self.records),
+            "n_delivered": len(delivered),
+            "total_bytes": sum(r.nbytes for r in self.records),
+            "intra_node_messages": sum(r.intra_node for r in self.records),
+            "min_latency": min(lat) if lat else None,
+            "max_latency": max(lat) if lat else None,
+            "mean_latency": (sum(lat) / len(lat)) if lat else None,
+        }
+
+    def per_pair_bytes(self) -> Dict[tuple, int]:
+        """Bytes moved per (src_node, dst_node)."""
+        out: Dict[tuple, int] = {}
+        for r in self.records:
+            key = (r.src_node, r.dst_node)
+            out[key] = out.get(key, 0) + r.nbytes
+        return out
+
+    def timeline(self, limit: int = 40, min_bytes: int = 0) -> str:
+        """Text rendering of the first ``limit`` transfers."""
+        lines = []
+        for r in self.records:
+            if r.nbytes < min_bytes:
+                continue
+            end = f"{r.deliver_time * 1e6:9.2f}" if r.deliver_time else "  pending"
+            lines.append(
+                f"{r.post_time * 1e6:9.2f} -> {end} us  "
+                f"{r.kind:3s} n{r.src_node}.{r.src_rail} => "
+                f"n{r.dst_node}.{r.dst_rail}  {r.nbytes}B"
+                f"{'  [ordered]' if r.ordered else ''}"
+            )
+            if len(lines) >= limit:
+                lines.append(f"... ({len(self.records)} total)")
+                break
+        return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""Experiment platforms (paper Table III) and synthetic level testbeds."""
+
+from .registry import (
+    PLATFORMS,
+    Platform,
+    get_platform,
+    make_job,
+    table3_rows,
+)
+
+__all__ = ["PLATFORMS", "Platform", "get_platform", "make_job", "table3_rows"]

@@ -1,0 +1,34 @@
+"""PowerLLEL mini-app: the paper's driving application (§V).
+
+A miniature but numerically real incompressible-flow pressure-Poisson
+pipeline with PowerLLEL's exact communication skeleton: RK2 velocity
+update with halo exchange, FFT-based Poisson solver with pencil
+transposes, and a PDD parallel tridiagonal solver — in two backends,
+two-sided MPI (baseline) and UNR notifiable RMA (optimized).
+"""
+
+from .app import gather_fields, max_divergence, run_powerllel
+from .costs import CostModel
+from .decomp import PencilDecomp, block_of, split_sizes, split_starts
+from .numerics import SerialReference
+from .state import PhaseTimes, PowerLLELConfig, RankData
+from .tridiag import pdd_boundary, pdd_correct, pdd_local_factor, thomas
+
+__all__ = [
+    "CostModel",
+    "PencilDecomp",
+    "PhaseTimes",
+    "PowerLLELConfig",
+    "RankData",
+    "SerialReference",
+    "block_of",
+    "gather_fields",
+    "max_divergence",
+    "pdd_boundary",
+    "pdd_correct",
+    "pdd_local_factor",
+    "run_powerllel",
+    "split_sizes",
+    "split_starts",
+    "thomas",
+]

@@ -1,0 +1,67 @@
+"""Compute-cost model for PowerLLEL kernels.
+
+Simulated time must scale to 1728 nodes, where the actual arithmetic
+cannot be executed; the cost model charges wall seconds for each kernel
+from its flop/byte counts and the node's core specs.  In ``real`` mode
+the same charges apply (the simulation clock is decoupled from host
+time), so real and model runs produce identical timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Kernel timing from counts.
+
+    ``core_flops`` — sustained per-core FLOP/s (from the platform's
+    :class:`~repro.netsim.spec.NodeSpec`); ``mem_bw_per_core`` — STREAM
+    bandwidth per core for copy-bound phases (pack/unpack);
+    ``efficiency`` — fraction of peak the stencil-ish kernels reach.
+    """
+
+    core_flops: float
+    threads: int
+    mem_bw_per_core: float = 6.0e9
+    efficiency: float = 0.18
+
+    def _flops_time(self, nflops: float) -> float:
+        rate = self.core_flops * self.threads * self.efficiency
+        return nflops / rate
+
+    def _bytes_time(self, nbytes: float) -> float:
+        return nbytes / (self.mem_bw_per_core * self.threads)
+
+    # -- kernels (all return seconds) -------------------------------------
+    def momentum_rhs(self, cells: int) -> float:
+        """RK substep RHS for three velocity components (~60 flops/cell)."""
+        return self._flops_time(60.0 * cells)
+
+    def axpy(self, cells: int, fields: int = 3) -> float:
+        """q += dt * rhs updates."""
+        return self._bytes_time(24.0 * cells * fields)
+
+    def div_or_grad(self, cells: int) -> float:
+        """Divergence or gradient-correction sweep (~12 flops/cell)."""
+        return self._flops_time(12.0 * cells)
+
+    def fft(self, cells: int, n: int) -> float:
+        """1-D FFT batch over ``cells`` points of lines of length ``n``."""
+        import math
+
+        return self._flops_time(5.0 * cells * max(math.log2(max(n, 2)), 1.0))
+
+    def pack(self, nbytes: int) -> float:
+        """Pack or unpack a transpose buffer (copy bound)."""
+        return self._bytes_time(2.0 * nbytes)
+
+    def tridiag(self, unknowns: int, nrhs_factor: float = 1.0) -> float:
+        """Thomas/PDD sweeps (~9 flops per unknown per RHS)."""
+        return self._flops_time(9.0 * unknowns * nrhs_factor)
+
+    def halo_pack(self, nbytes: int) -> float:
+        return self._bytes_time(2.0 * nbytes)

@@ -1,0 +1,304 @@
+"""Local finite-difference kernels and the serial reference solver.
+
+Discretization (chosen so the pressure projection is *discretely
+exact*, which is what the integration tests assert):
+
+* x, y periodic; z walls.
+* divergence ``D`` uses backward differences (``w[-1] = 0`` below the
+  bottom wall);
+* pressure gradient ``G`` uses forward differences (``Gz = 0`` at the
+  top wall — homogeneous Neumann);
+* the Poisson operator is exactly ``L = D∘G``: compact second
+  differences in x/y (modified wavenumbers under FFT) and the Neumann
+  tridiagonal in z.  Hence ``div(u − G L⁻¹ D u) = 0`` to solver
+  precision.
+
+Arrays are local pencils with one ghost layer in y and z:
+shape ``(nx, ny_local + 2, nz_local + 2)``; x is fully local (periodic
+``np.roll``).  Ghost filling at walls reflects (Neumann) for velocity
+stencils.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "alloc_field",
+    "interior",
+    "fill_wall_ghosts",
+    "rhs_forcing",
+    "momentum_rhs",
+    "divergence",
+    "apply_pressure_correction",
+    "modified_wavenumbers",
+    "z_tridiag_coeffs",
+    "SerialReference",
+]
+
+
+def alloc_field(nx: int, nyl: int, nzl: int) -> np.ndarray:
+    """A local field with one ghost layer in y and z."""
+    return np.zeros((nx, nyl + 2, nzl + 2), dtype=np.float64)
+
+
+def interior(field: np.ndarray) -> np.ndarray:
+    """The non-ghost view."""
+    return field[:, 1:-1, 1:-1]
+
+
+def fill_wall_ghosts(field: np.ndarray, is_bottom: bool, is_top: bool) -> None:
+    """Neumann-reflect the z ghost layers at physical walls."""
+    if is_bottom:
+        field[:, :, 0] = field[:, :, 1]
+    if is_top:
+        field[:, :, -1] = field[:, :, -2]
+
+
+def rhs_forcing(
+    nx: int,
+    nyl: int,
+    nzl: int,
+    y0: int,
+    z0: int,
+    ny: Optional[int] = None,
+    nz: Optional[int] = None,
+    seed: int = 7,
+) -> np.ndarray:
+    """Deterministic smooth forcing, identical regardless of decomposition.
+
+    ``ny``/``nz`` are the *global* extents (default: this block reaches
+    the end of the grid) so distributed slabs evaluate the same field."""
+    ny = ny if ny is not None else y0 + nyl
+    nz = nz if nz is not None else z0 + nzl
+    rng = np.random.default_rng(seed)
+    ax, ay, az = rng.uniform(0.5, 1.5, size=3)
+    x = np.arange(nx)[:, None, None]
+    y = (y0 + np.arange(nyl))[None, :, None]
+    z = (z0 + np.arange(nzl))[None, None, :]
+    return 0.01 * (
+        np.sin(ax * 2 * np.pi * x / max(nx, 1))
+        * np.cos(ay * 2 * np.pi * y / max(ny, 1))
+        + 0.3 * np.sin(az * np.pi * (z + 0.5) / max(nz, 1))
+    )
+
+
+def _ddx(f: np.ndarray, dx: float) -> np.ndarray:
+    """Central x derivative (periodic) of a ghosted field's interior."""
+    fi = f  # operate on full array; x has no ghosts
+    return (np.roll(fi, -1, axis=0) - np.roll(fi, 1, axis=0))[:, 1:-1, 1:-1] / (2 * dx)
+
+
+def _ddy(f: np.ndarray, dy: float) -> np.ndarray:
+    return (f[:, 2:, 1:-1] - f[:, :-2, 1:-1]) / (2 * dy)
+
+
+def _ddz(f: np.ndarray, dz: float) -> np.ndarray:
+    return (f[:, 1:-1, 2:] - f[:, 1:-1, :-2]) / (2 * dz)
+
+
+def _laplacian(f: np.ndarray, dx: float, dy: float, dz: float) -> np.ndarray:
+    core = f[:, 1:-1, 1:-1]
+    lap_x = (np.roll(f, -1, axis=0) + np.roll(f, 1, axis=0))[:, 1:-1, 1:-1] - 2 * core
+    lap_y = f[:, 2:, 1:-1] - 2 * core + f[:, :-2, 1:-1]
+    lap_z = f[:, 1:-1, 2:] - 2 * core + f[:, 1:-1, :-2]
+    return lap_x / dx**2 + lap_y / dy**2 + lap_z / dz**2
+
+
+def momentum_rhs(
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
+    forcing: np.ndarray,
+    nu: float,
+    spacing: Tuple[float, float, float],
+) -> Dict[str, np.ndarray]:
+    """RHS of the simplified momentum equations for one RK substep.
+
+    ``F(q) = ν ∇²q − (u ∂x q + v ∂y q + w ∂z q) + forcing`` — a
+    width-1 stencil exactly like PowerLLEL's velocity update, so the
+    halo-exchange pattern matches the paper's Figure 3b.
+    Ghosts of u/v/w must be current.  Returns interior-shaped arrays.
+    """
+    dx, dy, dz = spacing
+    ui, vi, wi = interior(u), interior(v), interior(w)
+    out = {}
+    for name, q in (("u", u), ("v", v), ("w", w)):
+        adv = ui * _ddx(q, dx) + vi * _ddy(q, dy) + wi * _ddz(q, dz)
+        out[name] = nu * _laplacian(q, dx, dy, dz) - adv + forcing
+    return out
+
+
+def divergence(
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
+    spacing: Tuple[float, float, float],
+    is_bottom: bool,
+) -> np.ndarray:
+    """Backward-difference divergence (interior shape).
+
+    Requires *previous*-side ghosts of v (y) and w (z) to be current.
+    At the bottom wall the below-wall flux is zero: ``w[-1] = 0``.
+    """
+    dx, dy, dz = spacing
+    ui = interior(u)
+    div = (ui - np.roll(ui, 1, axis=0)) / dx
+    div += (v[:, 1:-1, 1:-1] - v[:, 0:-2, 1:-1]) / dy
+    wz = w.copy() if is_bottom else w
+    if is_bottom:
+        wz[:, :, 0] = 0.0  # wall: no flux from below
+    div += (wz[:, 1:-1, 1:-1] - wz[:, 1:-1, 0:-2]) / dz
+    return div
+
+
+def apply_pressure_correction(
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
+    p: np.ndarray,
+    spacing: Tuple[float, float, float],
+    is_top: bool,
+) -> None:
+    """Forward-difference projection ``q -= G p`` (in place, interior).
+
+    Requires the *next*-side ghosts of p (y and z) to be current.  The
+    z gradient at the top wall is zero (homogeneous Neumann), matching
+    the Poisson operator's last row.
+    """
+    dx, dy, dz = spacing
+    pi = p[:, 1:-1, 1:-1]
+    interior(u)[...] -= (np.roll(pi, -1, axis=0) - pi) / dx
+    interior(v)[...] -= (p[:, 2:, 1:-1] - pi) / dy
+    gz = (p[:, 1:-1, 2:] - pi) / dz
+    if is_top:
+        gz[:, :, -1] = 0.0
+    interior(w)[...] -= gz
+
+
+def modified_wavenumbers(n: int, d: float, real_half: bool = False) -> np.ndarray:
+    """Eigenvalues of the compact periodic second difference.
+
+    ``λ_k = (2 cos(2πk/n) − 2) / d²`` — the exact spectrum of
+    ``(f[i+1] − 2 f[i] + f[i−1]) / d²``, so FFT diagonalization of the
+    Poisson operator is exact."""
+    k = np.arange(n // 2 + 1 if real_half else n)
+    return (2.0 * np.cos(2.0 * np.pi * k / n) - 2.0) / d**2
+
+
+def z_tridiag_coeffs(nz: int, dz: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(lower, diag, upper) of the Neumann z operator ``D_b∘G_f``."""
+    lower = np.full(nz, 1.0 / dz**2)
+    diag = np.full(nz, -2.0 / dz**2)
+    upper = np.full(nz, 1.0 / dz**2)
+    diag[0] = -1.0 / dz**2  # bottom wall (w[-1] = 0)
+    diag[-1] = -1.0 / dz**2  # top wall (Gz = 0)
+    lower[0] = 0.0
+    upper[-1] = 0.0
+    return lower, diag, upper
+
+
+class SerialReference:
+    """Single-process reference: same operators on the full grid.
+
+    Used by the tests to validate the distributed backends: after the
+    same number of steps the distributed fields must match these to
+    machine precision (real mode)."""
+
+    def __init__(self, nx: int, ny: int, nz: int, nu: float = 0.02, dt: float = 5e-4,
+                 lengths: Tuple[float, float, float] = (1.0, 1.0, 1.0)):
+        self.nx, self.ny, self.nz = nx, ny, nz
+        self.nu, self.dt = nu, dt
+        self.spacing = (lengths[0] / nx, lengths[1] / ny, lengths[2] / nz)
+        self.u = alloc_field(nx, ny, nz)
+        self.v = alloc_field(nx, ny, nz)
+        self.w = alloc_field(nx, ny, nz)
+        self.forcing = rhs_forcing(nx, ny, nz, 0, 0)
+        rng = np.random.default_rng(42)
+        interior(self.u)[...] = rng.standard_normal((nx, ny, nz)) * 0.1
+        interior(self.v)[...] = rng.standard_normal((nx, ny, nz)) * 0.1
+        interior(self.w)[...] = rng.standard_normal((nx, ny, nz)) * 0.1
+        self._refresh_ghosts()
+
+    def _refresh_ghosts(self) -> None:
+        for f in (self.u, self.v, self.w):
+            f[:, 0, :] = f[:, -2, :]  # periodic y
+            f[:, -1, :] = f[:, 1, :]
+            fill_wall_ghosts(f, True, True)
+
+    def poisson_solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Direct solve of ``L p = rhs`` (FFT x/y + Thomas in z)."""
+        from .tridiag import thomas
+
+        nx, ny, nz = self.nx, self.ny, self.nz
+        dx, dy, dz = self.spacing
+        # rfft along x then full fft along y — the same transform order
+        # as the distributed x-pencil → y-pencil pipeline.
+        spec = np.fft.fft(np.fft.rfft(rhs, axis=0), axis=1)  # (nxh, ny, nz)
+        lx = modified_wavenumbers(nx, dx, real_half=True)
+        ly = modified_wavenumbers(ny, dy)
+        lam = lx[:, None] + ly[None, :]
+        lower, diag, upper = z_tridiag_coeffs(nz, dz)
+        modes = spec.reshape(-1, nz)
+        lam_flat = lam.reshape(-1)
+        diag_m = diag[None, :] + lam_flat[:, None]
+        # Zero mode: pin p[0] = 0 (singular Neumann problem).
+        zero = np.nonzero(lam_flat == 0.0)[0]
+        lower_m = np.broadcast_to(lower, diag_m.shape).copy()
+        upper_m = np.broadcast_to(upper, diag_m.shape).copy()
+        rhs_m = modes.copy()
+        for idx in zero:
+            diag_m[idx, 0] = 1.0
+            upper_m[idx, 0] = 0.0
+            rhs_m[idx, 0] = 0.0
+        sol = thomas(lower_m, diag_m, upper_m, rhs_m)
+        spec_sol = sol.reshape(lam.shape + (nz,))
+        p = np.fft.irfft(np.fft.ifft(spec_sol, axis=1), n=nx, axis=0)
+        return p
+
+    def step(self) -> None:
+        """One RK2 step + projection (mirrors the distributed backends)."""
+        dt, nu = self.dt, self.nu
+        # RK substep 1 (half step).
+        self._refresh_ghosts()
+        rhs1 = momentum_rhs(self.u, self.v, self.w, self.forcing, nu, self.spacing)
+        u1 = alloc_field(self.nx, self.ny, self.nz)
+        v1 = alloc_field(self.nx, self.ny, self.nz)
+        w1 = alloc_field(self.nx, self.ny, self.nz)
+        interior(u1)[...] = interior(self.u) + 0.5 * dt * rhs1["u"]
+        interior(v1)[...] = interior(self.v) + 0.5 * dt * rhs1["v"]
+        interior(w1)[...] = interior(self.w) + 0.5 * dt * rhs1["w"]
+        for f in (u1, v1, w1):
+            f[:, 0, :] = f[:, -2, :]
+            f[:, -1, :] = f[:, 1, :]
+            fill_wall_ghosts(f, True, True)
+        # RK substep 2 (full step from the midpoint slope).
+        rhs2 = momentum_rhs(u1, v1, w1, self.forcing, nu, self.spacing)
+        interior(self.u)[...] += dt * rhs2["u"]
+        interior(self.v)[...] += dt * rhs2["v"]
+        interior(self.w)[...] += dt * rhs2["w"]
+        # No-penetration at the top wall: the top-face flux is zero and
+        # is never corrected (Gz = 0 there), which also makes the
+        # singular zero mode of the Neumann problem exactly compatible.
+        interior(self.w)[:, :, -1] = 0.0
+        self._refresh_ghosts()
+        # Pressure projection.
+        div = divergence(self.u, self.v, self.w, self.spacing, is_bottom=True)
+        p = self.poisson_solve(div)
+        pg = alloc_field(self.nx, self.ny, self.nz)
+        interior(pg)[...] = p
+        pg[:, 0, :] = pg[:, -2, :]
+        pg[:, -1, :] = pg[:, 1, :]
+        fill_wall_ghosts(pg, True, True)
+        apply_pressure_correction(self.u, self.v, self.w, pg, self.spacing, is_top=True)
+        self._refresh_ghosts()
+
+    def max_divergence(self) -> float:
+        self._refresh_ghosts()
+        return float(
+            np.abs(
+                divergence(self.u, self.v, self.w, self.spacing, is_bottom=True)
+            ).max()
+        )

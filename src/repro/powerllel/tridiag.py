@@ -1,0 +1,163 @@
+"""Tridiagonal solvers: vectorized Thomas + the PDD pieces.
+
+PDD (Parallel Diagonal Dominant, Sun et al.) splits the global
+tridiagonal system into per-process blocks.  Each process solves three
+local systems —
+
+* ``A_i x̃ = d``         (the local right-hand side),
+* ``A_i v = α e_first``  (coupling to the previous block), and
+* ``A_i w = γ e_last``   (coupling to the next block) —
+
+then one boundary exchange with each z-neighbour fixes the interface
+values; the correction ``x = x̃ − x_prev_last · v − x_next_first · w``
+finishes the solve.  The PDD approximation drops ``v[last]`` and
+``w[first]``, valid when the systems are diagonally dominant (every
+non-zero (kx, ky) mode of the Poisson problem; the singular zero mode
+is solved exactly by a gather instead — see ``poisson.py``).
+
+All functions are vectorized over a leading "modes" axis: shapes are
+``(n_modes, m)`` so one call solves every Fourier mode's system.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["thomas", "pdd_local_factor", "pdd_correct", "pdd_boundary"]
+
+
+def thomas(
+    lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Vectorized Thomas algorithm.
+
+    ``lower``/``diag``/``upper`` have shape ``(n_modes, m)`` (or ``(m,)``
+    broadcastable); ``rhs`` has shape ``(n_modes, m)`` or
+    ``(n_modes, m, k)`` for multiple right-hand sides per mode.
+    ``lower[..., 0]`` and ``upper[..., -1]`` are ignored.
+    Returns the solution with ``rhs``'s shape.
+    """
+    rhs = np.asarray(rhs)
+    squeeze = False
+    if rhs.ndim == 2:
+        rhs = rhs[..., None]
+        squeeze = True
+    n_modes, m, _k = rhs.shape
+    lower = np.broadcast_to(lower, (n_modes, m))
+    diag = np.broadcast_to(diag, (n_modes, m))
+    upper = np.broadcast_to(upper, (n_modes, m))
+
+    cp = np.empty((n_modes, m), dtype=np.result_type(diag, upper, rhs))
+    xp = np.empty_like(rhs, dtype=cp.dtype)
+    beta = diag[:, 0]
+    if np.any(beta == 0):
+        raise ZeroDivisionError("singular pivot in Thomas algorithm")
+    cp[:, 0] = upper[:, 0] / beta
+    xp[:, 0] = rhs[:, 0] / beta[:, None]
+    for i in range(1, m):
+        beta = diag[:, i] - lower[:, i] * cp[:, i - 1]
+        if np.any(beta == 0):
+            raise ZeroDivisionError("singular pivot in Thomas algorithm")
+        cp[:, i] = upper[:, i] / beta
+        xp[:, i] = (rhs[:, i] - lower[:, i, None] * xp[:, i - 1]) / beta[:, None]
+    x = np.empty_like(xp)
+    x[:, -1] = xp[:, -1]
+    for i in range(m - 2, -1, -1):
+        x[:, i] = xp[:, i] - cp[:, i, None] * x[:, i + 1]
+    return x[..., 0] if squeeze else x
+
+
+def pdd_local_factor(
+    lower: np.ndarray,
+    diag: np.ndarray,
+    upper: np.ndarray,
+    rhs: np.ndarray,
+    alpha: Optional[np.ndarray],
+    gamma: Optional[np.ndarray],
+) -> Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
+    """Local PDD solves: returns ``(x̃, v, w)``.
+
+    ``alpha`` is the sub-diagonal entry coupling my first row to the
+    previous block's last unknown (``None`` for the first block);
+    ``gamma`` couples my last row to the next block (``None`` for the
+    last block).  Shapes: coefficient arrays ``(n_modes, m)``; ``alpha``
+    and ``gamma`` ``(n_modes,)``.
+    """
+    n_modes, m = rhs.shape
+    n_rhs = 1 + (alpha is not None) + (gamma is not None)
+    stacked = np.zeros((n_modes, m, n_rhs), dtype=np.result_type(rhs, diag))
+    stacked[:, :, 0] = rhs
+    col = 1
+    v_col = w_col = None
+    if alpha is not None:
+        stacked[:, 0, col] = alpha
+        v_col = col
+        col += 1
+    if gamma is not None:
+        stacked[:, m - 1, col] = gamma
+        w_col = col
+    sol = thomas(lower, diag, upper, stacked)
+    x_tilde = sol[:, :, 0]
+    v = sol[:, :, v_col] if v_col is not None else None
+    w = sol[:, :, w_col] if w_col is not None else None
+    return x_tilde, v, w
+
+
+def pdd_boundary(
+    x_tilde: np.ndarray,
+    v: Optional[np.ndarray],
+    w: Optional[np.ndarray],
+) -> dict:
+    """The boundary payloads to exchange with z-neighbours.
+
+    Returns a dict with ``to_prev`` (my first x̃ and v values, consumed
+    by the lower neighbour) and ``to_next`` (my last x̃ and w values).
+    """
+    out = {}
+    out["to_prev"] = None
+    out["to_next"] = None
+    if v is not None:  # I have a previous block
+        out["to_prev"] = np.stack([x_tilde[:, 0], v[:, 0]])
+    if w is not None:  # I have a next block
+        out["to_next"] = np.stack([x_tilde[:, -1], w[:, -1]])
+    return out
+
+
+def pdd_correct(
+    x_tilde: np.ndarray,
+    v: Optional[np.ndarray],
+    w: Optional[np.ndarray],
+    from_prev: Optional[np.ndarray],
+    from_next: Optional[np.ndarray],
+) -> np.ndarray:
+    """Apply the interface corrections after the boundary exchange.
+
+    ``from_prev`` holds the previous block's ``(x̃[last], w[last])``;
+    ``from_next`` holds the next block's ``(x̃[first], v[first])``.
+    Solves the per-interface 2×2 reduced systems (with the PDD
+    truncation) and corrects the local solution in place-free fashion.
+    """
+    x = x_tilde.copy()
+    x_prev_last = None
+    x_next_first = None
+    if from_next is not None:
+        if w is None:
+            raise ValueError("received next-boundary data without a next block")
+        xt_next, v_next = from_next[0], from_next[1]
+        denom = 1.0 - w[:, -1] * v_next
+        x_last = (x_tilde[:, -1] - w[:, -1] * xt_next) / denom
+        x_next_first = xt_next - v_next * x_last
+    if from_prev is not None:
+        if v is None:
+            raise ValueError("received prev-boundary data without a prev block")
+        xt_prev, w_prev = from_prev[0], from_prev[1]
+        denom = 1.0 - v[:, 0] * w_prev
+        x_first = (x_tilde[:, 0] - v[:, 0] * xt_prev) / denom
+        x_prev_last = xt_prev - w_prev * x_first
+    if x_prev_last is not None:
+        x -= x_prev_last[:, None] * v
+    if x_next_first is not None:
+        x -= x_next_first[:, None] * w
+    return x

@@ -1,0 +1,42 @@
+"""Deterministic discrete-event simulation kernel (SimPy-style).
+
+Public surface:
+
+* :class:`~repro.sim.core.Environment` — clock + event heap.
+* :class:`~repro.sim.core.Event`, :class:`~repro.sim.core.Timeout`,
+  :class:`~repro.sim.core.Process`, :class:`~repro.sim.core.AllOf`,
+  :class:`~repro.sim.core.AnyOf`, :class:`~repro.sim.core.Interrupt`.
+* :class:`~repro.sim.resources.Store`, `PriorityStore`, `FilterStore`,
+  :class:`~repro.sim.resources.Resource`.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    StopProcess,
+    Timeout,
+)
+from .resources import FilterStore, PriorityStore, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "StopProcess",
+    "Store",
+    "Timeout",
+]

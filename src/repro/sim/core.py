@@ -1,0 +1,472 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, deterministic discrete-event simulator in
+the style of SimPy: simulated *processes* are Python generators that yield
+:class:`Event` objects and are resumed when those events fire.  The kernel
+is the foundation for the cluster/network model (:mod:`repro.netsim`), the
+simulated MPI substrate (:mod:`repro.mpi`) and the UNR library itself
+(:mod:`repro.core`).
+
+Determinism: the event heap is keyed by ``(time, sequence_number)`` so two
+runs of the same program produce identical schedules.  All randomness used
+by higher layers comes from seeded ``numpy.random.Generator`` instances.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env, out):
+...     yield env.timeout(2.5)
+...     out.append(env.now)
+>>> out = []
+>>> _ = env.process(hello(env, out))
+>>> env.run()
+>>> out
+[2.5]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "StopProcess",
+]
+
+# Sentinel for an event that has not yet been given a value.
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StopProcess(Exception):
+    """Raised inside a process generator to terminate it early with a value."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Event:
+    """An event that may eventually be *triggered* with a value or an error.
+
+    Processes wait on events by yielding them.  Multiple processes (and
+    conditions) can wait on the same event; callbacks run in registration
+    order when the event is processed by the environment.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on the
+        event.  If nothing ever waits on a failed event the environment
+        re-raises at the end of the run (unless :meth:`defused`).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (triggered) event."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel will not re-raise."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Internal: kicks a new :class:`Process` on the next step."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self)
+
+
+class Process(Event):
+    """A running simulated process wrapping a generator.
+
+    The process is itself an event that triggers when the generator
+    returns (value = return value / ``StopProcess`` value) or raises.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process requires a generator, got {generator!r} "
+                "(did you forget to call the function?)"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None  # event currently awaited
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current yield."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a dead process")
+        if self._target is None and not self.triggered:
+            # Not yet started: delay interrupt until after initialization.
+            raise SimulationError("cannot interrupt a process before it starts")
+        env = self.env
+        target = self._target
+
+        def do_interrupt(_evt: Event) -> None:
+            if not self.is_alive:
+                return
+            # Detach from the event we were waiting for.
+            if target is not None and target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
+            self._step_throw(Interrupt(cause))
+
+        urgent = Event(env)
+        urgent.callbacks.append(do_interrupt)
+        urgent._ok = True
+        urgent._value = None
+        env._schedule(urgent, priority=True)
+
+    # -- plumbing ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._ok:
+            self._step_send(event._value)
+        else:
+            event._defused = True
+            self._step_throw(event._value)
+
+    def _step_send(self, value: Any) -> None:
+        env = self.env
+        prev, env._active = env._active, self
+        try:
+            target = self._generator.send(value)
+        except StopIteration as exc:
+            self.succeed(exc.value)
+            return
+        except StopProcess as exc:
+            self.succeed(exc.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self.fail(exc)
+            return
+        finally:
+            env._active = prev
+        self._wait_on(target)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        env = self.env
+        prev, env._active = env._active, self
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except StopProcess as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001
+            self.fail(err)
+            return
+        finally:
+            env._active = prev
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+            )
+            return
+        if target.callbacks is None:
+            # Already processed: resume immediately on the next step.
+            proxy = Event(self.env)
+            proxy._ok = target._ok
+            proxy._value = target._value
+            if not target._ok:
+                target._defused = True
+            proxy.callbacks.append(self._resume)
+            self.env._schedule(proxy)
+            self._target = proxy
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name} {'alive' if self.is_alive else 'dead'}>"
+
+
+class Condition(Event):
+    """Waits for a set of events according to ``evaluate``.
+
+    The value of a condition is a dict mapping each *triggered* event to
+    its value (like SimPy's ConditionValue, simplified).
+    """
+
+    __slots__ = ("_events", "_evaluate", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[int, int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for evt in self._events:
+            if evt.env is not env:
+                raise SimulationError("events from different environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for evt in self._events:
+            if evt.callbacks is None:  # already processed
+                self._check(evt)
+            else:
+                evt.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(len(self._events), self._count):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        # Only events whose callbacks have run count as "arrived": a
+        # Timeout carries its value from construction, so `triggered`
+        # alone would claim future timeouts.
+        return {
+            evt: evt._value
+            for evt in self._events
+            if evt.processed and evt._ok
+        }
+
+
+class AllOf(Condition):
+    """Condition satisfied when *all* events have triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda total, done: done == total, events)
+
+
+class AnyOf(Condition):
+    """Condition satisfied when *any one* event has triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda total, done: done >= 1, events)
+
+
+class Environment:
+    """The simulation environment: clock plus event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: bool = False) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._seq += 1
+        # Priority events (interrupts) sort before normal events at the
+        # same timestamp by using a negative phase key.
+        phase = 0 if priority else 1
+        heapq.heappush(self._heap, (self._now + delay, phase, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process one event: advance the clock and run its callbacks."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        when, _phase, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock passes ``until``."""
+        if until is not None:
+            limit = float(until)
+            if limit < self._now:
+                raise SimulationError(
+                    f"until={limit} is in the past (now={self._now})"
+                )
+        else:
+            limit = float("inf")
+        while self._heap and self._heap[0][0] <= limit:
+            self.step()
+        if until is not None and self._now < limit:
+            self._now = limit
+
+    def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:
+        """Convenience: spawn ``generator``, run, and return its value."""
+        proc = self.process(generator)
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish by t={self._now}"
+            )
+        if not proc._ok:
+            raise proc._value
+        return proc._value

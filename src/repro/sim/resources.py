@@ -1,0 +1,255 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Provides the queueing abstractions used by the network and runtime
+layers:
+
+* :class:`Store` — a FIFO buffer of items with optional capacity; ``get``
+  and ``put`` return events (back-pressure falls out naturally).
+* :class:`PriorityStore` — like :class:`Store` but items pop lowest-key
+  first (used for ordered delivery / control channels).
+* :class:`FilterStore` — ``get`` takes a predicate (used for MPI tag
+  matching).
+* :class:`Resource` — counting semaphore (used for CPU cores and NIC
+  injection serialization).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from .core import Environment, Event, SimulationError
+
+__all__ = ["Store", "PriorityStore", "FilterStore", "Resource"]
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; succeeds when the item is stored."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, env: Environment, item: Any):
+        super().__init__(env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; succeeds with the item."""
+
+    __slots__ = ()
+
+
+class Store:
+    """FIFO item buffer with optional capacity.
+
+    ``put`` blocks (stays untriggered) while the store is full; ``get``
+    blocks while it is empty.  Waiters are served in FIFO order.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[StoreGet] = deque()
+        self._putters: Deque[StorePut] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> StorePut:
+        evt = StorePut(self.env, item)
+        self._putters.append(evt)
+        self._dispatch()
+        return evt
+
+    def get(self) -> StoreGet:
+        evt = StoreGet(self.env)
+        self._getters.append(evt)
+        self._dispatch()
+        return evt
+
+    def try_get(self) -> Any:
+        """Non-blocking pop: return an item or ``None`` if empty."""
+        if self.items:
+            item = self._pop_item()
+            self._dispatch()
+            return item
+        return None
+
+    # -- internals ----------------------------------------------------------
+    def _store_item(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _pop_item(self) -> Any:
+        return self.items.popleft()
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Move waiting putters into the buffer while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self._store_item(put.item)
+                put.succeed()
+                progress = True
+            # Serve waiting getters from the buffer.
+            while self._getters and self.items:
+                get = self._getters.popleft()
+                get.succeed(self._pop_item())
+                progress = True
+
+
+class PriorityStore(Store):
+    """Store whose items pop in ascending order of ``(priority, seq)``.
+
+    Items are inserted as ``put((priority, item))`` or any comparable
+    object; internally a heap with an insertion sequence breaks ties so
+    equal priorities stay FIFO.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        super().__init__(env, capacity)
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._heap) >= self.capacity
+
+    def _store_item(self, item: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (item[0], self._seq, item))
+
+    def _pop_item(self) -> Any:
+        return heapq.heappop(self._heap)[2]
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self._heap) < self.capacity:
+                put = self._putters.popleft()
+                self._store_item(put.item)
+                put.succeed()
+                progress = True
+            while self._getters and self._heap:
+                get = self._getters.popleft()
+                get.succeed(self._pop_item())
+                progress = True
+
+
+class FilterStoreGet(StoreGet):
+    """Get event carrying the match predicate."""
+
+    __slots__ = ("_filter",)
+
+    def __init__(self, env: Environment, filter: Callable[[Any], bool]):  # noqa: A002
+        super().__init__(env)
+        self._filter = filter
+
+
+class FilterStore(Store):
+    """Store whose ``get`` accepts a predicate; first matching item wins.
+
+    Used for MPI receive matching on ``(source, tag)``.
+    """
+
+    def get(self, filter: Callable[[Any], bool] = lambda item: True) -> StoreGet:  # noqa: A002
+        evt = FilterStoreGet(self.env, filter)
+        self._getters.append(evt)
+        self._dispatch()
+        return evt
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Try every waiting getter against every item (FIFO per getter).
+            remaining: Deque[StoreGet] = deque()
+            while self._getters:
+                get = self._getters.popleft()
+                flt = getattr(get, "_filter", lambda item: True)
+                for idx, item in enumerate(self.items):
+                    if flt(item):
+                        del self.items[idx]
+                        get.succeed(item)
+                        progress = True
+                        break
+                else:
+                    remaining.append(get)
+            self._getters = remaining
+
+
+class ResourceRequest(Event):
+    """Event returned by :meth:`Resource.request`; succeeds on acquisition."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, env: Environment, amount: int):
+        super().__init__(env)
+        self.amount = amount
+
+
+class Resource:
+    """A counting semaphore with FIFO waiters.
+
+    Usage::
+
+        req = cores.request()
+        yield req
+        try:
+            yield env.timeout(work)
+        finally:
+            cores.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[ResourceRequest] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def request(self, amount: int = 1) -> ResourceRequest:
+        if amount < 1 or amount > self.capacity:
+            raise SimulationError(
+                f"request of {amount} units on capacity-{self.capacity} resource"
+            )
+        req = ResourceRequest(self.env, amount)
+        self._waiters.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: Optional[ResourceRequest] = None, amount: int = 1) -> None:
+        amount = request.amount if request is not None else amount
+        self.in_use -= amount
+        if self.in_use < 0:
+            raise SimulationError("released more units than acquired")
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._waiters and self._waiters[0].amount <= self.available:
+            req = self._waiters.popleft()
+            self.in_use += req.amount
+            req.succeed()

@@ -1,0 +1,179 @@
+"""Tests for the MPI-conversion interfaces (paper Code 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Unr,
+    UnrUsageError,
+    alltoallv_convert,
+    irecv_convert,
+    isend_convert,
+    sendrecv_convert,
+)
+from repro.netsim import Cluster, ClusterSpec, NicSpec, NodeSpec
+from repro.runtime import Job, run_job
+from repro.sim import Environment
+
+
+def make_unr(n_nodes=2, **kw):
+    env = Environment()
+    spec = ClusterSpec(
+        "t", n_nodes, NodeSpec(cores=4),
+        NicSpec(bandwidth_gbps=100, latency_us=1.0), seed=21,
+    )
+    job = Job(Cluster(env, spec))
+    return job, Unr(job, "glex", **kw)
+
+
+def test_isend_irecv_convert_roundtrip():
+    job, unr = make_unr()
+    got = {}
+    iters = 3
+
+    def program(ctx):
+        ep = unr.endpoint(ctx.rank)
+        if ctx.rank == 0:
+            buf = np.zeros(256, dtype=np.uint8)
+            mr = ep.mem_reg(buf)
+            sig = ep.sig_init(1)
+            plan = yield from isend_convert(ep, mr, 0, 256, dst=1, tag=5,
+                                            send_finish_sig=sig)
+            for it in range(iters):
+                buf[:] = it + 1
+                plan.start()
+                yield from ep.sig_wait(sig)
+                ep.sig_reset(sig)
+                yield from ep.recv_ctl(1, tag="ack")
+        else:
+            buf = np.zeros(256, dtype=np.uint8)
+            mr = ep.mem_reg(buf)
+            sig = ep.sig_init(1)
+            yield from irecv_convert(ep, mr, 0, 256, src=0, tag=5,
+                                     recv_finish_sig=sig)
+            vals = []
+            for _ in range(iters):
+                yield from ep.sig_wait(sig)
+                vals.append(int(buf[0]))
+                ep.sig_reset(sig)
+                yield from ep.send_ctl(0, "ok", tag="ack")
+            got["vals"] = vals
+
+    run_job(job, program)
+    assert got["vals"] == [1, 2, 3]
+
+
+def test_isend_convert_size_mismatch_detected():
+    job, unr = make_unr()
+
+    def program(ctx):
+        ep = unr.endpoint(ctx.rank)
+        buf = np.zeros(256, dtype=np.uint8)
+        mr = ep.mem_reg(buf)
+        if ctx.rank == 0:
+            with pytest.raises(UnrUsageError, match="posted"):
+                yield from isend_convert(ep, mr, 0, 256, dst=1, tag=0)
+        else:
+            yield from irecv_convert(ep, mr, 0, 128, src=0, tag=0)
+
+    run_job(job, program)
+
+
+def test_sendrecv_convert_neighbour_exchange():
+    job, unr = make_unr()
+    got = {}
+
+    def program(ctx):
+        ep = unr.endpoint(ctx.rank)
+        peer = 1 - ctx.rank
+        send = np.full(64, ctx.rank + 10, dtype=np.uint8)
+        recv = np.zeros(64, dtype=np.uint8)
+        smr, rmr = ep.mem_reg(send), ep.mem_reg(recv)
+        ssig, rsig = ep.sig_init(1), ep.sig_init(1)
+        plan = yield from sendrecv_convert(
+            ep, smr, 0, 64, peer, rmr, 0, 64, peer, tag=1,
+            send_finish_sig=ssig, recv_finish_sig=rsig,
+        )
+        plan.start()
+        yield from ep.sig_wait(rsig)
+        got[ctx.rank] = int(recv[0])
+        yield from ep.sig_wait(ssig)
+
+    run_job(job, program)
+    assert got == {0: 11, 1: 10}
+
+
+@pytest.mark.parametrize("size", [2, 3, 4])
+def test_alltoallv_convert_routes_blocks(size):
+    job, unr = make_unr(n_nodes=size)
+    got = {}
+
+    def program(ctx):
+        ep = unr.endpoint(ctx.rank)
+        n = ctx.n_ranks
+        chunk = 32
+        send = np.zeros(n * chunk, dtype=np.uint8)
+        recv = np.zeros(n * chunk, dtype=np.uint8)
+        for j in range(n):
+            send[j * chunk : (j + 1) * chunk] = ctx.rank * 10 + j
+        smr, rmr = ep.mem_reg(send), ep.mem_reg(recv)
+        rsig = ep.sig_init(n)
+        plan = yield from alltoallv_convert(
+            ep, list(range(n)),
+            smr, [chunk] * n, [j * chunk for j in range(n)],
+            rmr, [chunk] * n, [j * chunk for j in range(n)],
+            recv_finish_sig=rsig,
+        )
+        plan.start()
+        yield from ep.sig_wait(rsig)
+        got[ctx.rank] = recv.copy()
+
+    run_job(job, program)
+    for r in range(size):
+        for j in range(size):
+            assert got[r][j * 32] == j * 10 + r
+
+
+def test_alltoallv_convert_zero_counts_skip():
+    job, unr = make_unr(n_nodes=2)
+    done = {}
+
+    def program(ctx):
+        ep = unr.endpoint(ctx.rank)
+        peer = 1 - ctx.rank
+        send = np.full(32, ctx.rank + 1, dtype=np.uint8)
+        recv = np.zeros(32, dtype=np.uint8)
+        smr, rmr = ep.mem_reg(send), ep.mem_reg(recv)
+        rsig = ep.sig_init(1)
+        # Only off-diagonal traffic: nothing to self.
+        counts = [0, 0]
+        counts[peer] = 32
+        displs = [0, 0]
+        plan = yield from alltoallv_convert(
+            ep, [0, 1], smr, counts, displs, rmr, counts, displs,
+            recv_finish_sig=rsig,
+        )
+        plan.start()
+        yield from ep.sig_wait(rsig)
+        done[ctx.rank] = int(recv[0])
+
+    run_job(job, program)
+    assert done == {0: 2, 1: 1}
+
+
+def test_alltoallv_convert_validations():
+    job, unr = make_unr(n_nodes=2)
+
+    def program(ctx):
+        ep = unr.endpoint(ctx.rank)
+        mr = ep.mem_reg(np.zeros(64, dtype=np.uint8))
+        if ctx.rank == 0:
+            with pytest.raises(UnrUsageError, match="not in the rank list"):
+                yield from alltoallv_convert(ep, [1], mr, [1], [0], mr, [1], [0])
+            with pytest.raises(UnrUsageError, match="length mismatch"):
+                yield from alltoallv_convert(
+                    ep, [0, 1], mr, [1], [0], mr, [1, 1], [0, 1]
+                )
+        yield ctx.env.timeout(0)
+
+    run_job(job, program)

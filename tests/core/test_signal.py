@@ -1,0 +1,233 @@
+"""Tests for the MMAS signal (`repro.core.signal`), including the
+paper's §IV-B counter-encoding invariants as property-based tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signal import MASK64, Signal, submessage_addends
+from repro.sim import Environment
+
+
+def make_signal(num_event=1, n_bits=32):
+    return Signal(Environment(), sid=0, num_event=num_event, n_bits=n_bits)
+
+
+# ------------------------------------------------------------- basics
+
+
+def test_initial_counter_is_num_event():
+    sig = make_signal(num_event=5)
+    assert sig.counter == 5
+    assert sig.remaining_events == 5
+    assert not sig.is_zero
+
+
+def test_single_event_triggers():
+    sig = make_signal(num_event=1)
+    assert sig.add(-1) is True
+    assert sig.is_zero
+
+
+def test_multiple_events_count_down():
+    sig = make_signal(num_event=3)
+    assert sig.add(-1) is False
+    assert sig.add(-1) is False
+    assert sig.add(-1) is True
+
+
+def test_overflow_bit_set_on_extra_event():
+    sig = make_signal(num_event=2, n_bits=8)
+    sig.add(-1)
+    sig.add(-1)
+    assert sig.overflow_bit == 0
+    sig.add(-1)  # one event too many
+    assert sig.overflow_bit == 1
+    assert not sig.is_zero
+
+
+def test_reset_rearms():
+    sig = make_signal(num_event=2)
+    sig.add(-1)
+    sig.add(-1)
+    assert sig.is_zero
+    sig._reset_counter()
+    assert sig.counter == 2
+    sig.add(-1)
+    sig.add(-1)
+    assert sig.is_zero
+
+
+def test_invalid_parameters():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Signal(env, 0, num_event=0)
+    with pytest.raises(ValueError):
+        Signal(env, 0, num_event=256, n_bits=8)  # needs 9 bits
+    with pytest.raises(ValueError):
+        Signal(env, 0, num_event=1, n_bits=0)
+    with pytest.raises(ValueError):
+        Signal(env, 0, num_event=1, n_bits=63)
+
+
+def test_counter_is_two_complement_64bit():
+    sig = make_signal(num_event=1)
+    sig.add(-1)
+    sig.add(-1)
+    assert sig.counter == -1
+    assert sig.counter_unsigned == MASK64
+
+
+# -------------------------------------------------- sub-message addends
+
+
+def test_single_message_addend():
+    assert submessage_addends(1, 32) == [-1]
+
+
+def test_addends_sum_to_minus_one():
+    for k in (2, 3, 4, 7, 16):
+        addends = submessage_addends(k, 16)
+        assert sum(addends) == -1
+        assert len(addends) == k
+
+
+def test_addend_values_match_paper_formula():
+    n = 8
+    k = 4
+    addends = submessage_addends(k, n)
+    assert addends[0] == -1 + ((k - 1) << (n + 1))
+    assert all(a == -(1 << (n + 1)) for a in addends[1:])
+
+
+def test_submessage_capacity_enforced():
+    # N=60 leaves 3 sub-message bits → max K-1 = 7.
+    submessage_addends(8, 60)
+    with pytest.raises(ValueError):
+        submessage_addends(9, 60)
+
+
+def test_k_must_be_positive():
+    with pytest.raises(ValueError):
+        submessage_addends(0, 32)
+
+
+# ---------------------------------- the paper's Figure 2 worked example
+
+
+def test_figure2_two_senders_one_striped():
+    """Receiver waits for 2 messages; sender1 stripes into 4 sub-messages."""
+    sig = make_signal(num_event=2, n_bits=16)
+    striped = submessage_addends(4, 16)
+    plain = submessage_addends(1, 16)
+    # Arbitrary interleaving of arrivals:
+    arrivals = [striped[1], plain[0], striped[3], striped[0], striped[2]]
+    fired = [sig.add(a) for a in arrivals]
+    assert fired[:-1] == [False] * 4
+    assert fired[-1] is True
+    assert sig.is_zero
+    assert sig.overflow_bit == 0
+
+
+def test_counter_not_zero_mid_stripe():
+    """Partial sub-message arrival must never look complete."""
+    sig = make_signal(num_event=1, n_bits=16)
+    addends = submessage_addends(2, 16)
+    assert sig.add(addends[0]) is False
+    assert not sig.is_zero
+
+
+# ------------------------------------------------------ wait events
+
+
+def test_wait_event_fires_on_trigger():
+    env = Environment()
+    sig = Signal(env, 0, num_event=2)
+    log = []
+
+    def waiter(env):
+        yield sig.wait_event()
+        log.append(env.now)
+
+    def adder(env):
+        yield env.timeout(1)
+        sig.add(-1)
+        yield env.timeout(1)
+        sig.add(-1)
+
+    env.process(waiter(env))
+    env.process(adder(env))
+    env.run()
+    assert log == [2]
+
+
+def test_wait_event_pretriggered_when_already_zero():
+    env = Environment()
+    sig = Signal(env, 0, num_event=1)
+    sig.add(-1)
+    evt = sig.wait_event()
+    assert evt.triggered
+
+
+# -------------------------------------------------- property-based (MMAS)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    n_bits=st.integers(min_value=4, max_value=32),
+    data=st.data(),
+)
+def test_mmas_counter_zero_iff_all_arrived(n_bits, data):
+    """Counter reaches 0 exactly when every sub-message of every event
+    has arrived, for any arrival order (the paper's core invariant)."""
+    max_events = (1 << n_bits) - 1
+    num_event = data.draw(st.integers(min_value=1, max_value=min(max_events, 8)))
+    max_sub = (1 << (63 - n_bits)) - 1
+    ks = data.draw(
+        st.lists(
+            st.integers(min_value=1, max_value=min(6, max_sub)),
+            min_size=num_event,
+            max_size=num_event,
+        )
+    )
+    sig = make_signal(num_event=num_event, n_bits=n_bits)
+    all_addends = []
+    for k in ks:
+        all_addends.extend(submessage_addends(k, n_bits))
+    order = data.draw(st.permutations(all_addends))
+    for i, a in enumerate(order):
+        fired = sig.add(a)
+        if i < len(order) - 1:
+            assert not fired, "triggered before all sub-messages arrived"
+            assert not sig.is_zero
+    assert sig.is_zero
+    assert sig.overflow_bit == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    num_event=st.integers(min_value=1, max_value=100),
+    extra=st.integers(min_value=1, max_value=10),
+)
+def test_mmas_overflow_detected_for_extra_events(num_event, extra):
+    sig = make_signal(num_event=num_event, n_bits=16)
+    for _ in range(num_event + extra):
+        sig.add(-1)
+    assert sig.overflow_bit == 1
+    assert not sig.is_zero
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n_bits=st.integers(min_value=4, max_value=32),
+    k=st.integers(min_value=2, max_value=32),
+)
+def test_mmas_no_false_trigger_on_any_strict_prefix(n_bits, k):
+    """No strict subset of one striped message can zero the counter."""
+    addends = submessage_addends(k, n_bits)
+    sig = make_signal(num_event=1, n_bits=n_bits)
+    for a in addends[:-1]:
+        sig.add(a)
+        assert not sig.is_zero
+    sig.add(addends[-1])
+    assert sig.is_zero

@@ -1,0 +1,251 @@
+"""Tests for interconnect channel adapters and width enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.interconnect import (
+    ChannelError,
+    GlexChannel,
+    MpiFallbackChannel,
+    MpiFallbackConfig,
+    UtofuChannel,
+    VerbsChannel,
+    make_channel,
+)
+from repro.netsim import Cluster, ClusterSpec, FabricSpec, NicSpec, NodeSpec
+from repro.runtime import Job
+from repro.sim import Environment
+
+
+def make_job(n_nodes=2, nics=1, ppn=1, offload=False, jitter=0.0):
+    env = Environment()
+    spec = ClusterSpec(
+        "t",
+        n_nodes,
+        NodeSpec(cores=4, nics=nics),
+        NicSpec(bandwidth_gbps=100, latency_us=1.0, atomic_offload=offload),
+        FabricSpec(routing_jitter=jitter),
+        seed=3,
+    )
+    return env, Job(Cluster(env, spec), ranks_per_node=ppn)
+
+
+def test_make_channel_registry():
+    env, job = make_job()
+    ch = make_channel("glex", job)
+    assert isinstance(ch, GlexChannel)
+    with pytest.raises(KeyError):
+        make_channel("nope", job)
+
+
+def test_channel_level_reflects_cluster_offload():
+    env, job = make_job(offload=True)
+    assert GlexChannel(job).level() == 4
+    assert VerbsChannel(job).level() == 2
+    env, job = make_job(offload=False)
+    assert GlexChannel(job).level() == 3
+
+
+def test_put_delivers_payload_and_remote_custom():
+    env, job = make_job()
+    ch = VerbsChannel(job)
+    landed = {}
+
+    def run(env):
+        yield ch.put(
+            0, 1, 256,
+            payload=b"data",
+            on_deliver=lambda d: landed.__setitem__("data", d),
+            remote_custom=0xABCD,
+        )
+        yield env.timeout(1)
+
+    env.run_process(run(env))
+    assert landed["data"] == b"data"
+    rec = job.nic_of(1).cq.poll()
+    assert rec.kind == "put_remote"
+    assert rec.custom == 0xABCD
+
+
+def test_put_remote_custom_width_enforced():
+    env, job = make_job()
+    ch = VerbsChannel(job)  # 32 remote bits
+    with pytest.raises(ChannelError, match="32"):
+        ch.put(0, 1, 8, remote_custom=1 << 32)
+    # 32 bits exactly fits.
+    ch.put(0, 1, 8, remote_custom=(1 << 32) - 1)
+
+
+def test_utofu_8bit_limit():
+    env, job = make_job()
+    ch = UtofuChannel(job)
+    with pytest.raises(ChannelError):
+        ch.put(0, 1, 8, remote_custom=256)
+    ch.put(0, 1, 8, remote_custom=255)
+
+
+def test_negative_custom_rejected():
+    env, job = make_job()
+    ch = GlexChannel(job)
+    with pytest.raises(ChannelError, match="unsigned"):
+        ch.put(0, 1, 8, remote_custom=-1)
+
+
+def test_verbs_get_remote_notification_impossible():
+    env, job = make_job()
+    ch = VerbsChannel(job)
+    with pytest.raises(ChannelError, match="no custom bits"):
+        ch.get(0, 1, 8, remote_custom=1)
+
+
+def test_glex_get_remote_notification_works():
+    env, job = make_job()
+    ch = GlexChannel(job)
+
+    def run(env):
+        yield ch.get(0, 1, 64, fetch=lambda: b"x", remote_custom=42)
+        yield env.timeout(1)
+
+    env.run_process(run(env))
+    rec = job.nic_of(1).cq.poll()
+    assert rec.kind == "get_remote"
+    assert rec.custom == 42
+
+
+def test_local_custom_lands_in_source_cq():
+    env, job = make_job()
+    ch = GlexChannel(job)
+
+    def run(env):
+        yield ch.put(0, 1, 64, local_custom=7)
+
+    env.run_process(run(env))
+    env.run()
+    rec = job.nic_of(0).cq.poll()
+    assert rec.kind == "put_local"
+    assert rec.custom == 7
+
+
+def test_level4_action_bypasses_cq():
+    env, job = make_job(offload=True)
+    ch = GlexChannel(job)
+    hits = []
+
+    def run(env):
+        yield ch.put(0, 1, 64, remote_action=lambda: hits.append(env.now))
+        yield env.timeout(1)
+
+    env.run_process(run(env))
+    assert hits
+    assert job.nic_of(1).cq.poll() is None
+
+
+def test_multi_rail_ranks_map_to_distinct_nics():
+    env, job = make_job(nics=2, ppn=2)
+    assert job.nic_of(0).index == 0
+    assert job.nic_of(1).index == 1
+    # Explicit rail selection wraps.
+    assert job.nic_of(0, rail=1).index == 1
+    assert job.nic_of(0, rail=2).index == 0
+
+
+def test_striping_uses_both_rails():
+    env, job = make_job(nics=2)
+    ch = GlexChannel(job)
+
+    def run(env):
+        e0 = ch.put(0, 1, 1 << 20, rail=0)
+        e1 = ch.put(0, 1, 1 << 20, rail=1)
+        yield e0
+        yield e1
+        yield env.timeout(1)
+
+    env.run_process(run(env))
+    n0 = job.cluster.node(0)
+    assert n0.nic(0).tx_msgs == 1
+    assert n0.nic(1).tx_msgs == 1
+
+
+# ---------------------------------------------------------------- fallback
+
+
+def test_fallback_software_notify_flag():
+    env, job = make_job()
+    ch = MpiFallbackChannel(job)
+    assert ch.software_notify is True
+    assert ch.level() == 0
+
+
+def test_fallback_put_invokes_actions_directly():
+    env, job = make_job()
+    ch = MpiFallbackChannel(job)
+    log = []
+
+    def run(env):
+        yield ch.put(
+            0, 1, 128,
+            payload=b"p",
+            on_deliver=lambda d: log.append(("deliver", d)),
+            remote_action=lambda: log.append(("remote",)),
+            local_action=lambda: log.append(("local",)),
+        )
+        yield env.timeout(1)
+
+    env.run_process(run(env))
+    assert ("deliver", b"p") in log
+    assert ("remote",) in log
+    assert ("local",) in log
+    # No CQ entries: notification is software.
+    assert job.nic_of(1).cq.poll() is None
+
+
+def test_fallback_rendezvous_slower_than_eager():
+    def one_put(nbytes, threshold):
+        env, job = make_job()
+        ch = MpiFallbackChannel(job, MpiFallbackConfig(eager_threshold=threshold))
+        t = {}
+
+        def run(env):
+            done = env.event()
+            ch.put(0, 1, nbytes, remote_action=lambda: done.succeed(env.now))
+            t["arrival"] = yield done
+
+        env.run_process(run(env))
+        return t["arrival"]
+
+    nbytes = 8192
+    eager = one_put(nbytes, threshold=16 * 1024)
+    rndv = one_put(nbytes, threshold=4 * 1024)
+    assert rndv > eager
+    # Rendezvous pays at least one extra round trip (2 x 1us latency).
+    assert rndv - eager >= 2e-6 * 0.9
+
+
+def test_fallback_get_round_trip():
+    env, job = make_job()
+    ch = MpiFallbackChannel(job)
+    landed = {}
+
+    def run(env):
+        yield ch.get(
+            0, 1, 256,
+            fetch=lambda: np.arange(4),
+            on_deliver=lambda d: landed.__setitem__("d", d),
+        )
+
+    env.run_process(run(env))
+    np.testing.assert_array_equal(landed["d"], np.arange(4))
+
+
+def test_fallback_preserves_order():
+    env, job = make_job()
+    ch = MpiFallbackChannel(job)
+    order = []
+
+    def run(env):
+        for i in range(10):
+            ch.put(0, 1, 64, remote_action=lambda i=i: order.append(i))
+        yield env.timeout(1.0)
+
+    env.run_process(run(env))
+    assert order == list(range(10))

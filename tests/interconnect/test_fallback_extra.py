@@ -1,0 +1,62 @@
+"""Additional MPI-fallback channel tests: configuration sensitivity."""
+
+import pytest
+
+from repro.interconnect import MpiFallbackChannel, MpiFallbackConfig
+from repro.netsim import Cluster, ClusterSpec, NicSpec, NodeSpec
+from repro.runtime import Job
+from repro.sim import Environment
+
+
+def make_job():
+    env = Environment()
+    spec = ClusterSpec(
+        "t", 2, NodeSpec(cores=2),
+        NicSpec(bandwidth_gbps=100, latency_us=1.0), seed=30,
+    )
+    return env, Job(Cluster(env, spec))
+
+
+def one_put_time(config, nbytes):
+    env, job = make_job()
+    ch = MpiFallbackChannel(job, config)
+    t = {}
+
+    def run(env):
+        done = env.event()
+        ch.put(0, 1, nbytes, remote_action=lambda: done.succeed(env.now))
+        t["arrive"] = yield done
+
+    env.run_process(run(env))
+    return t["arrive"]
+
+
+def test_sw_overhead_adds_latency():
+    fast = one_put_time(MpiFallbackConfig(sw_overhead_us=0.1), 1024)
+    slow = one_put_time(MpiFallbackConfig(sw_overhead_us=5.0), 1024)
+    assert slow - fast == pytest.approx(4.9e-6, rel=0.05)
+
+
+def test_rendezvous_rtts_scale_penalty():
+    cfg1 = MpiFallbackConfig(eager_threshold=512, rendezvous_rtts=1.0)
+    cfg3 = MpiFallbackConfig(eager_threshold=512, rendezvous_rtts=3.0)
+    t1 = one_put_time(cfg1, 64 * 1024)
+    t3 = one_put_time(cfg3, 64 * 1024)
+    # Two extra round trips at 2 us each (plus sw overheads).
+    assert t3 - t1 > 3.9e-6
+
+
+def test_bandwidth_penalty_inflates_transfer():
+    cfg1 = MpiFallbackConfig(eager_threshold=512, rendezvous_bw_penalty=1.0)
+    cfg2 = MpiFallbackConfig(eager_threshold=512, rendezvous_bw_penalty=2.0)
+    nbytes = 1 << 20
+    t1 = one_put_time(cfg1, nbytes)
+    t2 = one_put_time(cfg2, nbytes)
+    assert t2 - t1 == pytest.approx(nbytes / (100e9 / 8), rel=0.1)
+
+
+def test_eager_messages_unaffected_by_rendezvous_knobs():
+    cfg_a = MpiFallbackConfig(eager_threshold=64 * 1024, rendezvous_rtts=5.0,
+                              rendezvous_bw_penalty=4.0)
+    cfg_b = MpiFallbackConfig(eager_threshold=64 * 1024)
+    assert one_put_time(cfg_a, 1024) == one_put_time(cfg_b, 1024)

@@ -1,0 +1,176 @@
+"""Tests for simulated MPI collectives."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MpiWorld
+from repro.netsim import Cluster, ClusterSpec, NicSpec, NodeSpec
+from repro.runtime import Job, run_job
+from repro.sim import Environment
+
+
+def make_world(n_nodes=4, ppn=1):
+    env = Environment()
+    spec = ClusterSpec(
+        "t", n_nodes, NodeSpec(cores=4),
+        NicSpec(bandwidth_gbps=100, latency_us=1.0), seed=9,
+    )
+    job = Job(Cluster(env, spec), ranks_per_node=ppn)
+    return job, MpiWorld(job)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8])
+def test_barrier_synchronizes(size):
+    job, world = make_world(n_nodes=size)
+    exits = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        # Stagger arrivals.
+        yield ctx.env.timeout(float(ctx.rank))
+        yield from comm.barrier()
+        exits[ctx.rank] = ctx.env.now
+
+    run_job(job, program)
+    latest_arrival = size - 1
+    assert all(t >= latest_arrival for t in exits.values())
+
+
+@pytest.mark.parametrize("size,root", [(4, 0), (4, 2), (5, 3), (1, 0), (8, 7)])
+def test_bcast_delivers_to_all(size, root):
+    job, world = make_world(n_nodes=size)
+    got = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        data = np.arange(16) if comm.rank == root else None
+        out = yield from comm.bcast(data, root=root)
+        got[ctx.rank] = out
+
+    run_job(job, program)
+    for r in range(size):
+        np.testing.assert_array_equal(got[r], np.arange(16))
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+def test_allgather_collects_everyone(size):
+    job, world = make_world(n_nodes=size)
+    got = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        out = yield from comm.allgather(comm.rank * 10)
+        got[ctx.rank] = out
+
+    run_job(job, program)
+    expected = [r * 10 for r in range(size)]
+    for r in range(size):
+        assert got[r] == expected
+
+
+@pytest.mark.parametrize("size", [2, 3, 4, 8])
+def test_alltoallv_routes_blocks(size):
+    job, world = make_world(n_nodes=size)
+    got = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        blocks = [np.full(4, comm.rank * 100 + j) for j in range(size)]
+        out = yield from comm.alltoallv(blocks)
+        got[ctx.rank] = out
+
+    run_job(job, program)
+    for r in range(size):
+        for j in range(size):
+            np.testing.assert_array_equal(got[r][j], np.full(4, j * 100 + r))
+
+
+def test_alltoallv_none_blocks_skip_traffic():
+    job, world = make_world(n_nodes=2)
+    got = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        blocks = [None, None]
+        blocks[1 - comm.rank] = np.array([comm.rank])
+        out = yield from comm.alltoallv(blocks)
+        got[ctx.rank] = out
+
+    run_job(job, program)
+    assert got[0][1][0] == 1
+    assert got[1][0][0] == 0
+
+
+def test_alltoallv_wrong_length_rejected():
+    from repro.mpi import MpiError
+
+    job, world = make_world(n_nodes=2)
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        if ctx.rank == 0:
+            with pytest.raises(MpiError):
+                yield from comm.alltoallv([None])
+        yield ctx.env.timeout(0)
+
+    run_job(job, program)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7])
+def test_reduce_sums_at_root(size):
+    job, world = make_world(n_nodes=size)
+    got = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        out = yield from comm.reduce(np.array([comm.rank + 1.0]), root=0)
+        got[ctx.rank] = out
+
+    run_job(job, program)
+    assert got[0][0] == pytest.approx(size * (size + 1) / 2)
+    for r in range(1, size):
+        assert got[r] is None
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 5, 8])
+def test_allreduce_everyone_gets_sum(size):
+    job, world = make_world(n_nodes=size)
+    got = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        out = yield from comm.allreduce(comm.rank + 1)
+        got[ctx.rank] = out
+
+    run_job(job, program)
+    expected = size * (size + 1) // 2
+    assert all(v == expected for v in got.values())
+
+
+def test_allreduce_custom_op():
+    job, world = make_world(n_nodes=4)
+    got = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        out = yield from comm.allreduce(ctx.rank, op=max)
+        got[ctx.rank] = out
+
+    run_job(job, program)
+    assert all(v == 3 for v in got.values())
+
+
+def test_collectives_on_sub_communicator():
+    job, world = make_world(n_nodes=4)
+    got = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        color = ctx.rank % 2
+        sub = comm.sub([color, color + 2])
+        out = yield from sub.allreduce(ctx.rank)
+        got[ctx.rank] = out
+
+    run_job(job, program)
+    assert got[0] == got[2] == 2  # 0 + 2
+    assert got[1] == got[3] == 4  # 1 + 3

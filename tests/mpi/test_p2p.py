@@ -1,0 +1,199 @@
+"""Tests for simulated MPI point-to-point (`repro.mpi.world`)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MpiConfig, MpiError, MpiWorld
+from repro.netsim import Cluster, ClusterSpec, NicSpec, NodeSpec
+from repro.runtime import Job, run_job
+from repro.sim import Environment
+
+
+def make_world(n_nodes=2, ppn=1, cores=4, **cfg):
+    env = Environment()
+    spec = ClusterSpec(
+        "t", n_nodes, NodeSpec(cores=cores),
+        NicSpec(bandwidth_gbps=100, latency_us=1.0), seed=5,
+    )
+    job = Job(Cluster(env, spec), ranks_per_node=ppn)
+    return job, MpiWorld(job, MpiConfig(**cfg) if cfg else None)
+
+
+def test_send_recv_roundtrip():
+    job, world = make_world()
+    got = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        if comm.rank == 0:
+            yield from comm.send(1, np.arange(10), tag=7)
+        else:
+            got["data"] = yield from comm.recv(0, tag=7)
+
+    run_job(job, program)
+    np.testing.assert_array_equal(got["data"], np.arange(10))
+
+
+def test_eager_message_buffered_before_recv_posted():
+    job, world = make_world()
+    got = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        if comm.rank == 0:
+            yield from comm.send(1, b"early", tag=1)
+        else:
+            yield ctx.env.timeout(1.0)  # recv posted long after arrival
+            got["data"] = yield from comm.recv(0, tag=1)
+
+    run_job(job, program)
+    assert got["data"] == b"early"
+    assert world.stats["eager"] == 1
+    assert world.stats["rendezvous"] == 0
+
+
+def test_rendezvous_used_above_threshold():
+    job, world = make_world(eager_threshold=1024)
+    got = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        if comm.rank == 0:
+            yield from comm.send(1, np.zeros(1024, dtype=np.float64), tag=2)
+        else:
+            got["data"] = yield from comm.recv(0, tag=2)
+
+    run_job(job, program)
+    assert got["data"].nbytes == 8192
+    assert world.stats["rendezvous"] == 1
+
+
+def test_rendezvous_sender_blocks_until_receiver_matches():
+    job, world = make_world(eager_threshold=1024)
+    times = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        if comm.rank == 0:
+            yield from comm.send(1, np.zeros(4096, dtype=np.uint8), tag=0)
+            times["send_done"] = ctx.env.now
+        else:
+            yield ctx.env.timeout(5.0)
+            yield from comm.recv(0, tag=0)
+
+    run_job(job, program)
+    # Sender cannot finish before the receiver showed up at t=5.
+    assert times["send_done"] > 5.0
+
+
+def test_tag_matching_out_of_order():
+    job, world = make_world()
+    got = []
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        if comm.rank == 0:
+            yield from comm.send(1, b"A", tag="a")
+            yield from comm.send(1, b"B", tag="b")
+        else:
+            b = yield from comm.recv(0, tag="b")
+            a = yield from comm.recv(0, tag="a")
+            got.extend([b, a])
+
+    run_job(job, program)
+    assert got == [b"B", b"A"]
+
+
+def test_wildcard_source_recv():
+    job, world = make_world(n_nodes=3)
+    got = []
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        if comm.rank in (0, 1):
+            yield from comm.send(2, bytes([comm.rank]), tag=0)
+        else:
+            for _ in range(2):
+                data = yield from comm.recv(None, tag=0)
+                got.append(data[0])
+
+    run_job(job, program)
+    assert sorted(got) == [0, 1]
+
+
+def test_isend_irecv_waitall():
+    job, world = make_world()
+    got = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        if comm.rank == 0:
+            reqs = [comm.isend(1, np.full(4, i), tag=i) for i in range(4)]
+            yield from comm.waitall(reqs)
+        else:
+            reqs = [comm.irecv(0, tag=i) for i in range(4)]
+            vals = yield from comm.waitall(reqs)
+            got["vals"] = [int(v[0]) for v in vals]
+
+    run_job(job, program)
+    assert got["vals"] == [0, 1, 2, 3]
+
+
+def test_sendrecv_exchanges_both_ways():
+    job, world = make_world()
+    got = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        peer = 1 - comm.rank
+        data = yield from comm.sendrecv(peer, f"from{comm.rank}", peer, tag=0)
+        got[comm.rank] = data
+
+    run_job(job, program)
+    assert got == {0: "from1", 1: "from0"}
+
+
+def test_sub_communicator_ranks():
+    job, world = make_world(n_nodes=4)
+    views = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        if ctx.rank in (1, 3):
+            sub = comm.sub([1, 3])
+            views[ctx.rank] = (sub.rank, sub.size)
+            peer = 1 - sub.rank
+            got = yield from sub.sendrecv(peer, ctx.rank, peer, tag=0)
+            views[f"got{ctx.rank}"] = got
+        else:
+            yield ctx.env.timeout(0)
+
+    run_job(job, program)
+    assert views[1] == (0, 2)
+    assert views[3] == (1, 2)
+    assert views["got1"] == 3
+    assert views["got3"] == 1
+
+
+def test_comm_errors():
+    job, world = make_world()
+    comm = world.comm_world(0)
+    with pytest.raises(MpiError):
+        comm.translate(5)
+    with pytest.raises(MpiError):
+        world.comm(0, (1,))  # rank 0 not a member
+
+
+def test_message_stats_accumulate():
+    job, world = make_world()
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        if comm.rank == 0:
+            yield from comm.send(1, np.zeros(100, dtype=np.uint8), tag=0)
+        else:
+            yield from comm.recv(0, tag=0)
+
+    run_job(job, program)
+    assert world.stats["messages"] == 1
+    assert world.stats["bytes"] == 100

@@ -1,0 +1,255 @@
+"""Tests for MPI-RMA windows and the three synchronization schemes."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MpiError, MpiWorld, Win
+from repro.netsim import Cluster, ClusterSpec, NicSpec, NodeSpec
+from repro.runtime import Job, run_job
+from repro.sim import Environment
+
+
+def make_world(n_nodes=2):
+    env = Environment()
+    spec = ClusterSpec(
+        "t", n_nodes, NodeSpec(cores=4),
+        NicSpec(bandwidth_gbps=100, latency_us=1.0), seed=13,
+    )
+    job = Job(Cluster(env, spec), ranks_per_node=1)
+    return job, MpiWorld(job)
+
+
+def test_fence_put_fence_delivers():
+    job, world = make_world()
+    result = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        buf = np.zeros(16, dtype=np.float64)
+        win = Win.create(comm, buf)
+        yield from win.fence()
+        if comm.rank == 0:
+            win.put(1, np.arange(16.0))
+        yield from win.fence()
+        if comm.rank == 1:
+            result["data"] = buf.copy()
+
+    run_job(job, program)
+    np.testing.assert_array_equal(result["data"], np.arange(16.0))
+
+
+def test_put_without_fence_not_guaranteed_then_fence_completes():
+    job, world = make_world()
+    times = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        buf = np.zeros(8, dtype=np.uint8)
+        win = Win.create(comm, buf)
+        yield from win.fence()
+        if comm.rank == 0:
+            win.put(1, np.ones(8, dtype=np.uint8))
+            times["posted"] = ctx.env.now
+        yield from win.fence()
+        times[f"after{comm.rank}"] = ctx.env.now
+        if comm.rank == 1:
+            times["value"] = int(buf[0])
+
+    run_job(job, program)
+    assert times["value"] == 1
+    assert times["after1"] > times["posted"]
+
+
+def test_put_offset_targets_window_slice():
+    job, world = make_world()
+    result = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        buf = np.zeros(32, dtype=np.uint8)
+        win = Win.create(comm, buf)
+        yield from win.fence()
+        if comm.rank == 0:
+            win.put(1, np.full(8, 9, dtype=np.uint8), offset=16)
+        yield from win.fence()
+        if comm.rank == 1:
+            result["buf"] = buf.copy()
+
+    run_job(job, program)
+    expected = np.zeros(32, dtype=np.uint8)
+    expected[16:24] = 9
+    np.testing.assert_array_equal(result["buf"], expected)
+
+
+def test_put_out_of_bounds_rejected():
+    job, world = make_world()
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        buf = np.zeros(8, dtype=np.uint8)
+        win = Win.create(comm, buf)
+        yield from win.fence()
+        if comm.rank == 0:
+            with pytest.raises(MpiError, match="exceeds"):
+                win.put(1, np.zeros(16, dtype=np.uint8))
+        yield from win.fence()
+
+    run_job(job, program)
+
+
+def test_get_reads_remote_window():
+    job, world = make_world()
+    result = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        buf = np.full(8, comm.rank + 5, dtype=np.uint8)
+        win = Win.create(comm, buf)
+        yield from win.fence()
+        if comm.rank == 0:
+            data = yield from win.get(1, 8)
+            result["data"] = np.frombuffer(bytes(data), dtype=np.uint8)
+        yield from win.fence()
+
+    run_job(job, program)
+    np.testing.assert_array_equal(result["data"], np.full(8, 6, np.uint8))
+
+
+def test_pscw_epoch():
+    job, world = make_world()
+    result = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        buf = np.zeros(8, dtype=np.float64)
+        win = Win.create(comm, buf)
+        if comm.rank == 0:  # origin
+            yield from win.start([1])
+            win.put(1, np.arange(8.0))
+            yield from win.complete([1])
+        else:  # target
+            yield from win.post([0])
+            yield from win.wait([0])
+            result["data"] = buf.copy()
+
+    run_job(job, program)
+    np.testing.assert_array_equal(result["data"], np.arange(8.0))
+
+
+def test_pscw_wait_observes_data():
+    """By the time wait() returns the target must see the bytes."""
+    job, world = make_world()
+    values = []
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        buf = np.zeros(1 << 16, dtype=np.uint8)
+        win = Win.create(comm, buf)
+        for it in range(3):
+            if comm.rank == 0:
+                yield from win.start([1])
+                win.put(1, np.full(1 << 16, it + 1, dtype=np.uint8))
+                yield from win.complete([1])
+            else:
+                yield from win.post([0])
+                yield from win.wait([0])
+                values.append((int(buf[0]), int(buf[-1])))
+
+    run_job(job, program)
+    assert values == [(1, 1), (2, 2), (3, 3)]
+
+
+def test_lock_put_unlock():
+    job, world = make_world()
+    result = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        buf = np.zeros(8, dtype=np.uint8)
+        win = Win.create(comm, buf)
+        yield from comm.barrier()
+        if comm.rank == 0:
+            yield from win.lock(1)
+            win.put(1, np.full(8, 3, dtype=np.uint8))
+            yield from win.unlock(1)
+            yield from comm.send(1, b"done", tag=9)
+        else:
+            yield from comm.recv(0, tag=9)
+            result["data"] = buf.copy()
+
+    run_job(job, program)
+    np.testing.assert_array_equal(result["data"], np.full(8, 3, np.uint8))
+
+
+def test_flush_waits_for_remote_completion():
+    job, world = make_world()
+    times = {}
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        buf = np.zeros(1 << 20, dtype=np.uint8)
+        win = Win.create(comm, buf)
+        yield from comm.barrier()
+        if comm.rank == 0:
+            t0 = ctx.env.now
+            win.put(1, np.ones(1 << 20, dtype=np.uint8))
+            yield from win.flush(1)
+            times["flush"] = ctx.env.now - t0
+        else:
+            yield ctx.env.timeout(0)
+
+    run_job(job, program)
+    # Flushing a 1 MiB put at 100 Gb/s takes at least ~84 us.
+    assert times["flush"] >= (1 << 20) / (100e9 / 8)
+
+
+def test_window_peer_missing_raises():
+    job, world = make_world()
+
+    def program(ctx):
+        comm = world.comm_world(ctx.rank)
+        if comm.rank == 0:
+            win = Win.create(comm, np.zeros(8, dtype=np.uint8))
+            with pytest.raises(MpiError, match="collectively"):
+                win.put(1, np.zeros(4, dtype=np.uint8))
+        yield ctx.env.timeout(0)
+
+    run_job(job, program)
+
+
+def test_fence_latency_exceeds_pscw_on_two_ranks():
+    """Fence pays a collective; PSCW only pairwise tokens (paper Fig. 4
+    shape: PSCW tracks two-sided and beats fence)."""
+
+    def run_scheme(scheme):
+        job, world = make_world()
+        times = {}
+
+        def program(ctx):
+            comm = world.comm_world(ctx.rank)
+            buf = np.zeros(8, dtype=np.uint8)
+            win = Win.create(comm, buf)
+            yield from comm.barrier()
+            t0 = ctx.env.now
+            iters = 10
+            for _ in range(iters):
+                if scheme == "fence":
+                    # OSU osu_put_latency pattern: open + close per epoch.
+                    yield from win.fence()
+                    if comm.rank == 0:
+                        win.put(1, np.ones(8, dtype=np.uint8))
+                    yield from win.fence()
+                else:
+                    if comm.rank == 0:
+                        yield from win.start([1])
+                        win.put(1, np.ones(8, dtype=np.uint8))
+                        yield from win.complete([1])
+                    else:
+                        yield from win.post([0])
+                        yield from win.wait([0])
+            times[comm.rank] = (ctx.env.now - t0) / iters
+
+        run_job(job, program)
+        return max(times.values())
+
+    assert run_scheme("fence") > run_scheme("pscw")

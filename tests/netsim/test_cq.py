@@ -1,0 +1,113 @@
+"""Unit tests for the completion queue (`repro.netsim.nic.CompletionQueue`)."""
+
+import pytest
+
+from repro.netsim import CompletionQueue, CompletionRecord
+from repro.sim import Environment
+
+
+def rec(i=0):
+    return CompletionRecord(kind="put_remote", custom=i)
+
+
+def test_push_and_poll():
+    env = Environment()
+    cq = CompletionQueue(env, depth=8)
+
+    def run(env):
+        for i in range(3):
+            yield from cq.push(rec(i))
+
+    env.run_process(run(env))
+    assert len(cq) == 3
+    assert cq.poll().custom == 0
+    assert cq.poll().custom == 1
+    assert [r.custom for r in cq.poll_batch()] == [2]
+    assert cq.poll() is None
+
+
+def test_poll_batch_limit():
+    env = Environment()
+    cq = CompletionQueue(env, depth=64)
+
+    def run(env):
+        for i in range(10):
+            yield from cq.push(rec(i))
+
+    env.run_process(run(env))
+    assert len(cq.poll_batch(limit=4)) == 4
+    assert len(cq.poll_batch()) == 6
+
+
+def test_high_water_and_counters():
+    env = Environment()
+    cq = CompletionQueue(env, depth=16)
+
+    def run(env):
+        for i in range(5):
+            yield from cq.push(rec(i))
+        cq.poll()
+        cq.poll()
+        for i in range(2):
+            yield from cq.push(rec(i))
+
+    env.run_process(run(env))
+    assert cq.n_pushed == 7
+    assert cq.high_water == 5
+
+
+def test_overflow_blocks_and_accounts_stall_time():
+    env = Environment()
+    cq = CompletionQueue(env, depth=2)
+    done = []
+
+    def producer(env):
+        for i in range(4):
+            yield from cq.push(rec(i))
+        done.append(env.now)
+
+    def consumer(env):
+        yield env.timeout(5.0)
+        cq.poll()
+        yield env.timeout(5.0)
+        cq.poll()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert done[0] == pytest.approx(10.0)
+    assert cq.n_overflow_stalls >= 1
+    # Pushes are sequential: the 3rd record waits 5 s (until the first
+    # poll), then the 4th waits another 5 s (until the second poll).
+    assert cq.stall_time == pytest.approx(5.0 + 5.0)
+
+
+def test_blocking_get():
+    env = Environment()
+    cq = CompletionQueue(env, depth=4)
+    got = []
+
+    def consumer(env):
+        r = yield cq.get()
+        got.append((env.now, r.custom))
+
+    def producer(env):
+        yield env.timeout(3.0)
+        yield from cq.push(rec(42))
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [(3.0, 42)]
+
+
+def test_is_full():
+    env = Environment()
+    cq = CompletionQueue(env, depth=1)
+
+    def run(env):
+        assert not cq.is_full
+        yield from cq.push(rec())
+        assert cq.is_full
+
+    env.run_process(run(env))

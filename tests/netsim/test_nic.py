@@ -1,0 +1,350 @@
+"""Tests for the NIC timing/delivery model (`repro.netsim.nic`)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    Cluster,
+    ClusterSpec,
+    CompletionRecord,
+    FabricSpec,
+    NicSpec,
+    NodeSpec,
+)
+from repro.sim import Environment
+
+
+def make_cluster(
+    n_nodes=2,
+    nics=1,
+    bw=100.0,
+    lat_us=1.0,
+    overhead_us=0.3,
+    rx_overhead_us=0.2,
+    cq_depth=4096,
+    jitter=0.0,
+    offload=False,
+):
+    env = Environment()
+    spec = ClusterSpec(
+        "test",
+        n_nodes,
+        NodeSpec(cores=4, nics=nics),
+        NicSpec(
+            bandwidth_gbps=bw,
+            latency_us=lat_us,
+            msg_overhead_us=overhead_us,
+            rx_overhead_us=rx_overhead_us,
+            cq_depth=cq_depth,
+            atomic_offload=offload,
+        ),
+        FabricSpec(routing_jitter=jitter),
+        seed=42,
+    )
+    return env, Cluster(env, spec)
+
+
+def test_put_latency_matches_model():
+    env, cluster = make_cluster()
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+    delivered = []
+
+    def run(env):
+        done = a.post_put(b, 8, on_deliver=lambda _: delivered.append(env.now))
+        yield done
+
+    env.run_process(run(env))
+    env.run()
+    spec = a.spec
+    expected = spec.msg_overhead + 8 / spec.bandwidth + spec.latency + spec.rx_overhead
+    assert delivered[0] == pytest.approx(expected, rel=1e-9)
+
+
+def test_put_local_completion_at_injection_end():
+    env, cluster = make_cluster()
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+
+    def run(env):
+        t = yield a.post_put(b, 1000)
+        return t
+
+    t = env.run_process(run(env))
+    env.run()
+    assert t == pytest.approx(a.spec.msg_overhead + 1000 / a.spec.bandwidth)
+
+
+def test_large_put_dominated_by_bandwidth():
+    env, cluster = make_cluster(bw=100.0)
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+    delivered = []
+    nbytes = 1 << 20
+
+    def run(env):
+        yield a.post_put(b, nbytes, on_deliver=lambda _: delivered.append(env.now))
+
+    env.run_process(run(env))
+    env.run()
+    serialization = nbytes / a.spec.bandwidth
+    assert delivered[0] == pytest.approx(serialization, rel=0.05)
+
+
+def test_tx_serialization_two_messages_back_to_back():
+    env, cluster = make_cluster()
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+    delivered = []
+    nbytes = 1 << 16
+
+    def run(env):
+        e1 = a.post_put(b, nbytes, on_deliver=lambda _: delivered.append(env.now))
+        e2 = a.post_put(b, nbytes, on_deliver=lambda _: delivered.append(env.now))
+        yield e1
+        yield e2
+
+    env.run_process(run(env))
+    env.run()
+    gap = delivered[1] - delivered[0]
+    # Second message completes one serialization+overhead later.
+    assert gap == pytest.approx(a.spec.msg_overhead + nbytes / a.spec.bandwidth, rel=1e-6)
+
+
+def test_rx_contention_serializes_two_senders():
+    env, cluster = make_cluster(n_nodes=3)
+    a = cluster.nodes[0].nic()
+    c = cluster.nodes[2].nic()
+    b = cluster.nodes[1].nic()
+    delivered = []
+    nbytes = 1 << 20
+
+    def run(env):
+        e1 = a.post_put(b, nbytes, on_deliver=lambda _: delivered.append(env.now))
+        e2 = c.post_put(b, nbytes, on_deliver=lambda _: delivered.append(env.now))
+        yield e1
+        yield e2
+
+    env.run_process(run(env))
+    env.run()
+    # Receiver port must serialize: the second delivery lands roughly a
+    # full serialization time after the first, not at the same instant.
+    serialization = nbytes / b.spec.bandwidth
+    assert delivered[1] - delivered[0] == pytest.approx(serialization, rel=0.05)
+
+
+def test_put_copies_payload_through_on_deliver():
+    env, cluster = make_cluster()
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+    dst = np.zeros(4, dtype=np.int64)
+    src = np.arange(4, dtype=np.int64)
+
+    def deliver(data):
+        dst[:] = data
+
+    def run(env):
+        yield a.post_put(b, src.nbytes, payload=src.copy(), on_deliver=deliver)
+
+    env.run_process(run(env))
+    env.run()
+    np.testing.assert_array_equal(dst, src)
+
+
+def test_remote_record_lands_in_destination_cq():
+    env, cluster = make_cluster()
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+    rec = CompletionRecord(kind="put_remote", custom=0xBEEF, nbytes=64)
+
+    def run(env):
+        yield a.post_put(b, 64, remote_record=rec)
+        yield env.timeout(1.0)
+
+    env.run_process(run(env))
+    got = b.cq.poll()
+    assert got is rec
+    assert got.custom == 0xBEEF
+    assert got.complete_time > 0
+    assert a.cq.poll() is None
+
+
+def test_local_record_lands_in_source_cq():
+    env, cluster = make_cluster()
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+    rec = CompletionRecord(kind="put_local", custom=7)
+
+    def run(env):
+        yield a.post_put(b, 64, local_record=rec)
+
+    env.run_process(run(env))
+    env.run()
+    assert a.cq.poll() is rec
+
+
+def test_atomic_offload_runs_action_without_cq_entry():
+    env, cluster = make_cluster(offload=True)
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+    counter = []
+
+    def run(env):
+        yield a.post_put(
+            b,
+            64,
+            remote_action=lambda: counter.append(env.now),
+            remote_record=CompletionRecord(kind="put_remote"),
+        )
+        yield env.timeout(1.0)
+
+    env.run_process(run(env))
+    assert counter  # action executed
+    assert b.cq.poll() is None  # no CQ entry posted
+
+
+def test_without_offload_action_is_ignored_record_used():
+    env, cluster = make_cluster(offload=False)
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+    hit = []
+    rec = CompletionRecord(kind="put_remote")
+
+    def run(env):
+        yield a.post_put(b, 64, remote_action=lambda: hit.append(1), remote_record=rec)
+        yield env.timeout(1.0)
+
+    env.run_process(run(env))
+    assert not hit
+    assert b.cq.poll() is rec
+
+
+def test_cq_overflow_stalls_delivery():
+    env, cluster = make_cluster(cq_depth=2)
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+
+    def run(env):
+        for i in range(5):
+            a.post_put(b, 8, remote_record=CompletionRecord(kind="put_remote", custom=i))
+        yield env.timeout(0.1)  # nobody polls
+
+    env.run_process(run(env))
+    assert len(b.cq) == 2
+    assert b.cq.n_overflow_stalls > 0
+
+    # After polling, the stalled records flow in.
+    def drain(env):
+        got = []
+        while len(got) < 5:
+            rec = b.cq.poll()
+            if rec is not None:
+                got.append(rec.custom)
+            yield env.timeout(0.001)
+        return got
+
+    got = env.run_process(drain(env))
+    assert sorted(got) == [0, 1, 2, 3, 4]
+
+
+def test_ordered_messages_preserve_send_order_under_jitter():
+    env, cluster = make_cluster(jitter=2.0)
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+    order = []
+
+    def run(env):
+        evts = []
+        for i in range(20):
+            evts.append(
+                a.post_put(b, 4096, on_deliver=lambda _, i=i: order.append(i), ordered=True)
+            )
+        for e in evts:
+            yield e
+        yield env.timeout(1.0)
+
+    env.run_process(run(env))
+    assert order == list(range(20))
+
+
+def test_unordered_fragments_can_arrive_out_of_order():
+    env, cluster = make_cluster(jitter=4.0)
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+    order = []
+
+    def run(env):
+        for i in range(64):
+            a.post_put(b, 1 << 17, on_deliver=lambda _, i=i: order.append(i))
+        yield env.timeout(10.0)
+
+    env.run_process(run(env))
+    assert sorted(order) == list(range(64))
+    assert order != list(range(64)), "adaptive-routing jitter should reorder"
+
+
+def test_get_round_trip_latency_exceeds_put():
+    env, cluster = make_cluster()
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+    times = {}
+
+    def run(env):
+        t0 = env.now
+        yield a.post_get(b, 8, fetch=lambda: b"x" * 8)
+        times["get"] = env.now - t0
+        t0 = env.now
+        done = a.post_put(b, 8, on_deliver=lambda _: times.__setitem__("put", env.now - t0))
+        yield done
+        yield env.timeout(1.0)
+
+    env.run_process(run(env))
+    assert times["get"] > times["put"]
+    # GET pays roughly an extra one-way latency.
+    assert times["get"] - times["put"] >= a.spec.latency * 0.9
+
+
+def test_get_fetches_remote_data():
+    env, cluster = make_cluster()
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+    remote = np.arange(10.0)
+    landed = {}
+
+    def run(env):
+        yield a.post_get(
+            b,
+            remote.nbytes,
+            fetch=lambda: remote.copy(),
+            on_deliver=lambda d: landed.__setitem__("data", d),
+        )
+
+    env.run_process(run(env))
+    np.testing.assert_array_equal(landed["data"], remote)
+
+
+def test_intra_node_put_uses_fast_path():
+    env, cluster = make_cluster(nics=2)
+    node = cluster.nodes[0]
+    a, b = node.nic(0), node.nic(1)
+    delivered = []
+
+    def run(env):
+        yield a.post_put(b, 8, on_deliver=lambda _: delivered.append(env.now))
+
+    env.run_process(run(env))
+    env.run()
+    assert delivered[0] < a.spec.latency + a.spec.msg_overhead + a.spec.rx_overhead
+
+
+def test_negative_size_rejected():
+    env, cluster = make_cluster()
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+    with pytest.raises(ValueError):
+        a.post_put(b, -1)
+    with pytest.raises(ValueError):
+        a.post_get(b, -1)
+
+
+def test_traffic_counters():
+    env, cluster = make_cluster()
+    a, b = cluster.nodes[0].nic(), cluster.nodes[1].nic()
+
+    def run(env):
+        yield a.post_put(b, 100)
+        yield a.post_put(b, 200)
+        yield env.timeout(1)
+
+    env.run_process(run(env))
+    assert a.tx_msgs == 2
+    assert a.tx_bytes == 300
+    assert b.rx_msgs == 2
+    assert b.rx_bytes == 300
+    totals = cluster.total_traffic()
+    assert totals["tx_bytes"] == 300

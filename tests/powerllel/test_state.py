@@ -1,0 +1,157 @@
+"""Tests for RankData pack/unpack and geometry (`repro.powerllel.state`)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import Cluster, ClusterSpec, NicSpec, NodeSpec
+from repro.powerllel.state import PowerLLELConfig, RankData
+from repro.runtime import Job, RankContext
+from repro.sim import Environment
+
+
+def make_rankdata(cfg, rank=0):
+    env = Environment()
+    spec = ClusterSpec(
+        "t", cfg.n_ranks, NodeSpec(cores=4),
+        NicSpec(bandwidth_gbps=100, latency_us=1.0), seed=12,
+    )
+    job = Job(Cluster(env, spec))
+    ctx = RankContext(job=job, rank=rank, services={})
+    return RankData(ctx, cfg)
+
+
+BASE = dict(nx=16, ny=12, nz=16, steps=1, lengths=(1.0, 1.0, 8.0))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PowerLLELConfig(py=1, pz=1, mode="turbo", **BASE)
+    with pytest.raises(ValueError):
+        PowerLLELConfig(py=1, pz=1, pipeline_slabs=0, **BASE)
+
+
+def test_slab_splits_cover_local_z():
+    cfg = PowerLLELConfig(py=2, pz=2, pipeline_slabs=3, **BASE)
+    rd = make_rankdata(cfg)
+    total = sum(zn for _zs, zn in rd.slabs)
+    assert total == rd.dec.nz_local
+    starts = [zs for zs, _zn in rd.slabs]
+    assert starts == sorted(starts)
+
+
+def test_slabs_capped_by_local_z():
+    cfg = PowerLLELConfig(py=1, pz=4, pipeline_slabs=100, **BASE)
+    rd = make_rankdata(cfg)
+    assert len(rd.slabs) == rd.dec.nz_local  # 16/4 = 4
+
+
+def test_message_sizes_consistent_between_sides():
+    """What rank i sends to j (forward) must equal what j expects from i."""
+    cfg = PowerLLELConfig(py=3, pz=1, pipeline_slabs=2, nx=18, ny=12, nz=8, steps=1)
+    rds = [make_rankdata(cfg, rank=r) for r in range(3)]
+    for i in range(3):
+        for j in range(3):
+            for s in range(2):
+                assert rds[i].fwd_slot_bytes(j, s) == rds[j].fwd_recv_bytes(i, s)
+                assert rds[i].inv_slot_bytes(j, s) == rds[j].inv_recv_bytes(i, s)
+
+
+def test_total_transpose_bytes_equal_both_directions():
+    cfg = PowerLLELConfig(py=4, pz=1, pipeline_slabs=2, nx=32, ny=16, nz=8, steps=1)
+    rd = make_rankdata(cfg)
+    fwd = sum(rd.fwd_slot_bytes(j, s) for j in range(4) for s in range(len(rd.slabs)))
+    # Forward sends my whole spectral pencil once.
+    assert fwd == rd.dec.nxh * rd.dec.ny_local * rd.dec.nz_local * 16
+
+
+def test_halo_pack_unpack_roundtrip():
+    cfg = PowerLLELConfig(py=2, pz=2, **BASE)
+    rd = make_rankdata(cfg)
+    rng = np.random.default_rng(0)
+    for f in (rd.u, rd.v, rd.w):
+        f[...] = rng.standard_normal(f.shape)
+    for direction, ghost in [
+        ("y_prev", lambda f: f[:, 0, 1:-1]),
+        ("y_next", lambda f: f[:, -1, 1:-1]),
+        ("z_prev", lambda f: f[:, 1:-1, 0]),
+        ("z_next", lambda f: f[:, 1:-1, -1]),
+    ]:
+        packed = rd.pack_halo([rd.u, rd.v, rd.w], direction)
+        rd.unpack_halo([rd.u, rd.v, rd.w], direction, packed.reshape(-1))
+        # Ghost now mirrors the matching boundary plane.
+        src_plane = {
+            "y_prev": rd.u[:, 1, 1:-1],
+            "y_next": rd.u[:, -2, 1:-1],
+            "z_prev": rd.u[:, 1:-1, 1],
+            "z_next": rd.u[:, 1:-1, -2],
+        }[direction]
+        np.testing.assert_array_equal(ghost(rd.u), src_plane)
+
+
+def test_transpose_pack_unpack_roundtrip():
+    """pack_fwd on the sender + unpack_fwd on a matching receiver moves
+    exactly the right block (single-rank self-consistency)."""
+    cfg = PowerLLELConfig(py=1, pz=1, pipeline_slabs=2, **BASE)
+    rd = make_rankdata(cfg)
+    rng = np.random.default_rng(1)
+    rd.xspec[...] = rng.standard_normal(rd.xspec.shape) + 1j * rng.standard_normal(rd.xspec.shape)
+    original = rd.xspec.copy()
+    for s in range(len(rd.slabs)):
+        block = rd.pack_fwd(0, s)
+        rd.unpack_fwd(0, s, block.reshape(-1))
+    np.testing.assert_array_equal(rd.yspec, original)
+    # And back.
+    rd.xspec[...] = 0
+    for s in range(len(rd.slabs)):
+        block = rd.pack_inv(0, s)
+        rd.unpack_inv(0, s, block.reshape(-1))
+    np.testing.assert_array_equal(rd.xspec, original)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    py=st.integers(1, 3),
+    pz=st.integers(1, 3),
+    slabs=st.integers(1, 3),
+)
+def test_distributed_transpose_roundtrip_property(py, pz, slabs):
+    """Simulate the full x→y transpose in-memory across all ranks: data
+    ends up in the right (rank, position); the inverse restores it."""
+    cfg = PowerLLELConfig(
+        nx=12, ny=6, nz=6, py=py, pz=pz, steps=1, pipeline_slabs=slabs
+    )
+    rds = [make_rankdata(cfg, rank=r) for r in range(py * pz)]
+    rng = np.random.default_rng(2)
+    originals = []
+    for rd in rds:
+        rd.xspec[...] = rng.standard_normal(rd.xspec.shape)
+        originals.append(rd.xspec.copy())
+    # Forward: every (sender, receiver-in-row, slab) block.
+    for rd in rds:
+        for j, peer in enumerate(rd.dec.row_ranks):
+            for s in range(len(rd.slabs)):
+                block = rd.pack_fwd(j, s)
+                rds[peer].unpack_fwd(rd.dec.iy, s, block.reshape(-1))
+    # Inverse.
+    for rd in rds:
+        rd.xspec[...] = 0
+    for rd in rds:
+        for j, peer in enumerate(rd.dec.row_ranks):
+            for s in range(len(rd.slabs)):
+                block = rd.pack_inv(j, s)
+                rds[peer].unpack_inv(rd.dec.iy, s, block.reshape(-1))
+    for rd, orig in zip(rds, originals):
+        np.testing.assert_array_equal(rd.xspec, orig)
+
+
+def test_phase_times_accumulate():
+    from repro.powerllel.state import PhaseTimes
+
+    t = PhaseTimes()
+    t.vel_update += 1.0
+    t.ppe += 2.0
+    t.other += 0.5
+    assert t.total == 3.5
+    assert t.as_dict()["total"] == 3.5

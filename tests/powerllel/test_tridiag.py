@@ -1,0 +1,194 @@
+"""Tests for the Thomas and PDD tridiagonal solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.powerllel.tridiag import pdd_boundary, pdd_correct, pdd_local_factor, thomas
+
+
+def dense_tridiag(lower, diag, upper):
+    m = len(diag)
+    a = np.diag(diag)
+    for i in range(1, m):
+        a[i, i - 1] = lower[i]
+        a[i - 1, i] = upper[i - 1]
+    return a
+
+
+def random_dominant(rng, m, dominance=3.0):
+    lower = rng.uniform(0.5, 1.5, m)
+    upper = rng.uniform(0.5, 1.5, m)
+    diag = -(np.abs(lower) + np.abs(upper)) * dominance
+    lower[0] = 0.0
+    upper[-1] = 0.0
+    return lower, diag, upper
+
+
+def test_thomas_matches_dense_solve():
+    rng = np.random.default_rng(1)
+    m = 12
+    lower, diag, upper = random_dominant(rng, m)
+    rhs = rng.standard_normal(m)
+    x = thomas(lower[None], diag[None], upper[None], rhs[None])[0]
+    dense = dense_tridiag(lower, diag, upper)
+    np.testing.assert_allclose(x, np.linalg.solve(dense, rhs), rtol=1e-12)
+
+
+def test_thomas_vectorized_over_modes():
+    rng = np.random.default_rng(2)
+    n_modes, m = 20, 9
+    lowers = np.empty((n_modes, m))
+    diags = np.empty((n_modes, m))
+    uppers = np.empty((n_modes, m))
+    rhss = rng.standard_normal((n_modes, m))
+    for i in range(n_modes):
+        lowers[i], diags[i], uppers[i] = random_dominant(rng, m)
+    x = thomas(lowers, diags, uppers, rhss)
+    for i in range(n_modes):
+        dense = dense_tridiag(lowers[i], diags[i], uppers[i])
+        np.testing.assert_allclose(x[i], np.linalg.solve(dense, rhss[i]), rtol=1e-10)
+
+
+def test_thomas_multiple_rhs():
+    rng = np.random.default_rng(3)
+    m, k = 8, 3
+    lower, diag, upper = random_dominant(rng, m)
+    rhs = rng.standard_normal((1, m, k))
+    x = thomas(lower[None], diag[None], upper[None], rhs)
+    dense = dense_tridiag(lower, diag, upper)
+    for j in range(k):
+        np.testing.assert_allclose(x[0, :, j], np.linalg.solve(dense, rhs[0, :, j]), rtol=1e-10)
+
+
+def test_thomas_complex_rhs():
+    rng = np.random.default_rng(4)
+    m = 10
+    lower, diag, upper = random_dominant(rng, m)
+    rhs = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+    x = thomas(lower[None], diag[None], upper[None], rhs[None])[0]
+    dense = dense_tridiag(lower, diag, upper)
+    np.testing.assert_allclose(x, np.linalg.solve(dense, rhs), rtol=1e-10)
+
+
+def test_thomas_singular_pivot_raises():
+    with pytest.raises(ZeroDivisionError):
+        thomas(
+            np.zeros((1, 3)), np.zeros((1, 3)), np.zeros((1, 3)), np.ones((1, 3))
+        )
+
+
+def _pdd_global_solve(lower, diag, upper, rhs, blocks):
+    """Run the full PDD pipeline over ``blocks`` row-ranges serially."""
+    n_modes, n = rhs.shape
+    parts = []
+    for b, (s, e) in enumerate(blocks):
+        alpha = None if b == 0 else lower[:, s]
+        gamma = None if b == len(blocks) - 1 else upper[:, e - 1]
+        x_t, v, w = pdd_local_factor(
+            lower[:, s:e], diag[:, s:e], upper[:, s:e], rhs[:, s:e], alpha, gamma
+        )
+        parts.append({"x": x_t, "v": v, "w": w, "b": pdd_boundary(x_t, v, w)})
+    out = np.empty_like(rhs)
+    for b, (s, e) in enumerate(blocks):
+        from_prev = parts[b - 1]["b"]["to_next"] if b > 0 else None
+        from_next = parts[b + 1]["b"]["to_prev"] if b < len(blocks) - 1 else None
+        out[:, s:e] = pdd_correct(
+            parts[b]["x"], parts[b]["v"], parts[b]["w"], from_prev, from_next
+        )
+    return out
+
+
+@pytest.mark.parametrize("n_blocks", [2, 3, 4])
+def test_pdd_matches_direct_for_dominant_systems(n_blocks):
+    rng = np.random.default_rng(5)
+    n_modes, n = 6, 24
+    lower = np.tile(rng.uniform(0.8, 1.2, n), (n_modes, 1))
+    upper = np.tile(rng.uniform(0.8, 1.2, n), (n_modes, 1))
+    diag = -(np.abs(lower) + np.abs(upper)) * 16.0  # strongly dominant
+    lower[:, 0] = 0.0
+    upper[:, -1] = 0.0
+    rhs = rng.standard_normal((n_modes, n))
+    m = n // n_blocks
+    blocks = [(i * m, (i + 1) * m) for i in range(n_blocks)]
+    x = _pdd_global_solve(lower, diag, upper, rhs, blocks)
+    for i in range(n_modes):
+        dense = dense_tridiag(lower[i], diag[i], upper[i])
+        np.testing.assert_allclose(x[i], np.linalg.solve(dense, rhs[i]), rtol=1e-6, atol=1e-9)
+
+
+def test_pdd_truncation_error_decays_with_dominance():
+    """The PDD approximation error shrinks as diagonal dominance grows
+    (the property that justifies it for the non-zero Poisson modes)."""
+    rng = np.random.default_rng(6)
+    n = 24
+    errs = []
+    # Three blocks: two interfaces, so the PDD truncation is active
+    # (with a single interface the reduced 2x2 system is exact).
+    blocks = [(0, 8), (8, 16), (16, 24)]
+    for dominance in (1.2, 2.0, 4.0, 16.0):
+        lower = np.ones((1, n))
+        upper = np.ones((1, n))
+        diag = np.full((1, n), -2.0 * dominance)
+        lower[:, 0] = 0.0
+        upper[:, -1] = 0.0
+        rhs = rng.standard_normal((1, n))
+        x = _pdd_global_solve(lower, diag, upper, rhs, blocks)
+        dense = dense_tridiag(lower[0], diag[0], upper[0])
+        exact = np.linalg.solve(dense, rhs[0])
+        errs.append(np.abs(x[0] - exact).max() / np.abs(exact).max())
+    assert errs[0] > errs[-1]
+    assert errs[-1] < 1e-12
+
+
+def test_pdd_single_block_is_exact_thomas():
+    rng = np.random.default_rng(7)
+    n = 10
+    lower, diag, upper = random_dominant(rng, n)
+    rhs = rng.standard_normal((2, n))
+    x_t, v, w = pdd_local_factor(
+        np.tile(lower, (2, 1)), np.tile(diag, (2, 1)), np.tile(upper, (2, 1)),
+        rhs, None, None,
+    )
+    assert v is None and w is None
+    out = pdd_correct(x_t, v, w, None, None)
+    dense = dense_tridiag(lower, diag, upper)
+    for i in range(2):
+        np.testing.assert_allclose(out[i], np.linalg.solve(dense, rhs[i]), rtol=1e-10)
+
+
+def test_pdd_correct_rejects_inconsistent_boundaries():
+    x = np.zeros((1, 4))
+    with pytest.raises(ValueError):
+        pdd_correct(x, None, None, np.zeros((2, 1)), None)
+    with pytest.raises(ValueError):
+        pdd_correct(x, None, None, None, np.zeros((2, 1)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    block_size=st.integers(8, 14),
+    n_blocks=st.integers(2, 4),
+    dominance=st.floats(6.0, 20.0),
+    seed=st.integers(0, 1000),
+)
+def test_pdd_property_dominant_accuracy(block_size, n_blocks, dominance, seed):
+    rng = np.random.default_rng(seed)
+    n = block_size * n_blocks
+    lower = np.ones((1, n))
+    upper = np.ones((1, n))
+    diag = np.full((1, n), -2.0 * dominance)
+    lower[:, 0] = 0.0
+    upper[:, -1] = 0.0
+    rhs = rng.standard_normal((1, n))
+    sizes = [n // n_blocks] * n_blocks
+    sizes[-1] += n - sum(sizes)
+    blocks, s = [], 0
+    for size in sizes:
+        blocks.append((s, s + size))
+        s += size
+    x = _pdd_global_solve(lower, diag, upper, rhs, blocks)
+    dense = dense_tridiag(lower[0], diag[0], upper[0])
+    exact = np.linalg.solve(dense, rhs[0])
+    assert np.abs(x[0] - exact).max() <= 1e-6 * max(np.abs(exact).max(), 1e-12)

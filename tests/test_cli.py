@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_tables(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Table II" in out and "Table III" in out
+    assert "Level-3" in out  # glex row
+    assert "Tianhe-Xingyi" in out
+
+
+def test_latency(capsys):
+    assert main(["latency", "--platform", "hpc-ib", "--sizes", "8,4096", "--iters", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4 (hpc-ib)" in out
+    assert "UNR" in out and "PSCW" in out
+    assert "4K" in out
+
+
+def test_latency_bad_sizes():
+    with pytest.raises(SystemExit):
+        main(["latency", "--sizes", "8,abc"])
+
+
+def test_powerllel(capsys):
+    assert main([
+        "powerllel", "--platform", "hpc-roce", "--backend", "unr",
+        "--nodes", "4", "--py", "2", "--pz", "2",
+        "--grid", "64,64,64", "--steps", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "PowerLLEL [unr]" in out
+    assert "total" in out
+
+
+def test_powerllel_fallback_flag(capsys):
+    assert main([
+        "powerllel", "--platform", "hpc-roce", "--fallback",
+        "--nodes", "4", "--py", "2", "--pz", "2",
+        "--grid", "64,64,64", "--steps", "1",
+    ]) == 0
+    assert "unr+fallback" in capsys.readouterr().out
+
+
+def test_scaling(capsys):
+    assert main(["scaling", "--platform", "th-2a", "--max-points", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 7 (th-2a)" in out
+    assert "efficiency" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_platform_raises():
+    with pytest.raises(KeyError):
+        main(["latency", "--platform", "summit", "--sizes", "8", "--iters", "2"])

@@ -1,0 +1,176 @@
+"""Tests for the UNR-based collective library (`repro.collectives`)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import UnrCollectives
+from repro.core import Unr, UnrUsageError
+from repro.netsim import Cluster, ClusterSpec, FabricSpec, NicSpec, NodeSpec
+from repro.runtime import Job, run_job
+from repro.sim import Environment
+
+CHUNK = 32
+
+
+def make_unr(n=4, jitter=0.3):
+    env = Environment()
+    spec = ClusterSpec(
+        "t", n, NodeSpec(cores=4),
+        NicSpec(bandwidth_gbps=100, latency_us=1.0),
+        FabricSpec(routing_jitter=jitter), seed=19,
+    )
+    job = Job(Cluster(env, spec))
+    return job, Unr(job, "glex")
+
+
+def run_collective(n, body, chunk=CHUNK):
+    job, unr = make_unr(n)
+    out = {}
+
+    def program(ctx):
+        coll = UnrCollectives(unr, list(range(n)), ctx.rank, chunk_bytes=chunk)
+        yield from coll.setup()
+        yield from body(ctx, coll, out)
+
+    run_job(job, program)
+    return out, unr
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8])
+def test_barrier_synchronizes(n):
+    def body(ctx, coll, out):
+        yield ctx.env.timeout(float(ctx.rank) * 1e-5)  # staggered arrival
+        yield from coll.barrier()
+        out[ctx.rank] = ctx.env.now
+
+    out, _ = run_collective(n, body)
+    latest = (n - 1) * 1e-5
+    assert all(t >= latest for t in out.values())
+
+
+def test_barrier_reusable_many_times():
+    def body(ctx, coll, out):
+        for it in range(6):
+            yield ctx.env.timeout(float((ctx.rank * 7 + it) % 3) * 1e-6)
+            yield from coll.barrier()
+        out[ctx.rank] = ctx.env.now
+
+    out, unr = run_collective(4, body)
+    assert len(out) == 4
+    assert unr.stats.get("sync_errors", 0) == 0
+
+
+@pytest.mark.parametrize("n,root", [(2, 0), (4, 0), (4, 2), (5, 3), (8, 7), (1, 0)])
+def test_bcast_delivers(n, root):
+    def body(ctx, coll, out):
+        data = np.arange(CHUNK, dtype=np.uint8) if ctx.rank == root else None
+        got = yield from coll.bcast(data, root=root)
+        out[ctx.rank] = got
+
+    out, _ = run_collective(n, body)
+    for r in range(n):
+        np.testing.assert_array_equal(out[r], np.arange(CHUNK, dtype=np.uint8))
+
+
+def test_bcast_reusable_with_different_roots():
+    def body(ctx, coll, out):
+        for it, root in enumerate([0, 3, 1]):
+            data = np.full(CHUNK, 10 + it, np.uint8) if ctx.rank == root else None
+            got = yield from coll.bcast(data, root=root)
+            out.setdefault(ctx.rank, []).append(int(got[0]))
+
+    out, _ = run_collective(4, body)
+    for r in range(4):
+        assert out[r] == [10, 11, 12]
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 6, 8])
+def test_allgather_collects(n):
+    def body(ctx, coll, out):
+        mine = np.full(CHUNK, ctx.rank + 1, np.uint8)
+        got = yield from coll.allgather(mine)
+        out[ctx.rank] = got
+
+    out, _ = run_collective(n, body)
+    for r in range(n):
+        assert out[r].shape == (n, CHUNK)
+        for j in range(n):
+            assert (out[r][j] == j + 1).all()
+
+
+def test_allgather_back_to_back():
+    def body(ctx, coll, out):
+        for it in range(4):
+            got = yield from coll.allgather(np.full(CHUNK, ctx.rank * 10 + it, np.uint8))
+            out.setdefault(ctx.rank, []).append([int(row[0]) for row in got])
+
+    out, _ = run_collective(3, body)
+    for r in range(3):
+        for it in range(4):
+            assert out[r][it] == [it, 10 + it, 20 + it]
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 5])
+def test_alltoall_routes(n):
+    def body(ctx, coll, out):
+        chunks = [np.full(CHUNK, ctx.rank * 10 + j, np.uint8) for j in range(n)]
+        got = yield from coll.alltoall(chunks)
+        out[ctx.rank] = got
+
+    out, _ = run_collective(n, body)
+    for r in range(n):
+        for j in range(n):
+            assert (out[r][j] == j * 10 + r).all()
+
+
+def test_alltoall_repeated_iterations():
+    def body(ctx, coll, out):
+        for it in range(3):
+            chunks = [
+                np.full(CHUNK, (ctx.rank + j + it) % 251, np.uint8) for j in range(4)
+            ]
+            got = yield from coll.alltoall(chunks)
+            out.setdefault(ctx.rank, []).append(got[0][0])
+
+    out, _ = run_collective(4, body)
+    for r in range(4):
+        assert [int(v) for v in out[r]] == [r % 251, (r + 1) % 251, (r + 2) % 251]
+
+
+def test_validation_errors():
+    job, unr = make_unr(2)
+    with pytest.raises(UnrUsageError):
+        UnrCollectives(unr, [0, 1], 5)
+    with pytest.raises(UnrUsageError):
+        UnrCollectives(unr, [0, 1], 0, chunk_bytes=0)
+    coll = UnrCollectives(unr, [0, 1], 0)
+    with pytest.raises(UnrUsageError, match="setup"):
+        list(coll.barrier())
+
+
+def test_wrong_chunk_size_rejected():
+    def body(ctx, coll, out):
+        with pytest.raises(UnrUsageError, match="bytes"):
+            yield from coll.allgather(np.zeros(CHUNK + 1, np.uint8))
+        out[ctx.rank] = True
+
+    out, _ = run_collective(2, body)
+    assert out == {0: True, 1: True}
+
+
+def test_collectives_on_subset_of_job():
+    """Collectives over a sub-communicator (ranks 1 and 3 of 4)."""
+    job, unr = make_unr(4)
+    out = {}
+
+    def program(ctx):
+        if ctx.rank in (1, 3):
+            coll = UnrCollectives(unr, [1, 3], ctx.rank, chunk_bytes=8)
+            yield from coll.setup()
+            got = yield from coll.allgather(np.full(8, ctx.rank, np.uint8))
+            out[ctx.rank] = [int(r[0]) for r in got]
+        else:
+            yield ctx.env.timeout(0)
+
+    run_job(job, program)
+    assert out == {1: [1, 3], 3: [1, 3]}

@@ -1,0 +1,51 @@
+"""Smoke tests: every example script must run clean and print its
+expected result markers."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 180) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "support level 2" in out
+    assert "[receiver] iteration 4" in out
+    assert "[sender]   done" in out
+
+
+def test_producer_consumer():
+    out = run_example("producer_consumer.py")
+    assert "consumed [1, 2, 3" in out
+    assert "caught: sig_reset" in out  # the bug-avoidance demo fired
+
+
+def test_multi_nic_aggregation():
+    out = run_example("multi_nic_aggregation.py")
+    assert "2 rails" in out
+    assert "speedup: 1.9" in out or "speedup: 2.0" in out
+    assert "theoretical bound" in out
+
+
+def test_powerllel_demo():
+    out = run_example("powerllel_demo.py")
+    assert "UNR speedup over the MPI baseline" in out
+    assert "backends agree bitwise" in out
+    assert "max|div u|=" in out
+
+
+def test_spike_broadcast():
+    out = run_example("spike_broadcast.py")
+    assert "all spikes accounted for" in out
