@@ -1,0 +1,26 @@
+# Test split: tier-1 stays fast, soak tests run on demand.
+#
+#   make test-fast   - everything except tests marked `slow` (the default
+#                      pytest configuration, what CI gates on)
+#   make test-all    - the full suite including the fault/stress soaks
+#   make test-slow   - only the slow soaks
+#   make demo-faults - the fault-injection acceptance demo
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test test-fast test-all test-slow demo-faults
+
+test: test-fast
+
+test-fast:
+	$(PYTEST) -q -m "not slow"
+
+test-all:
+	$(PYTEST) -q -m "slow or not slow"
+
+test-slow:
+	$(PYTEST) -q -m slow
+
+demo-faults:
+	PYTHONPATH=src $(PYTHON) -m repro faults

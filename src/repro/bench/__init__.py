@@ -1,5 +1,6 @@
 """Benchmark harness: drivers for every paper table and figure."""
 
+from .faultdemo import DEFAULT_FAULTS, fault_demo
 from .latency import DEFAULT_SIZES, latency_table, mpi_rma_pingpong, unr_pingpong
 from .multinic import aggregation_sweep, imbalance_sweep, pingpong_with_calc
 from .powerllel_bench import (
@@ -13,10 +14,12 @@ from .powerllel_bench import (
 from .report import format_series, format_size, format_table
 
 __all__ = [
+    "DEFAULT_FAULTS",
     "DEFAULT_SIZES",
     "FIG6_GRIDS",
     "FIG7_SERIES",
     "aggregation_sweep",
+    "fault_demo",
     "fig6_platform",
     "fig6_polling_study",
     "fig7_scaling",

@@ -52,10 +52,23 @@ def powerllel_point(
     steps: int = 2,
     pipeline_slabs: int = 4,
     seed: int = 0xC0FFEE,
+    faults: Optional[str] = None,
+    fault_seed: Optional[int] = None,
 ) -> Dict:
-    """One PowerLLEL run on ``platform``; returns time + phase breakdown."""
+    """One PowerLLEL run on ``platform``; returns time + phase breakdown.
+
+    ``faults`` is an optional :meth:`~repro.netsim.faults.FaultSpec.parse`
+    string; when set, the cluster's NICs are wrapped in a seeded fault
+    injector and the UNR backend arms its reliability layer.
+    """
     plat = get_platform(platform)
     job = make_job(platform, nodes, seed=seed)
+    fault_spec = None
+    if faults:
+        from ..netsim import FaultInjector, FaultSpec
+
+        fault_spec = FaultSpec.parse(faults, seed=fault_seed)
+        FaultInjector.attach(job.cluster, fault_spec)
     cfg = PowerLLELConfig(
         nx=nx, ny=ny, nz=nz, py=py, pz=pz, steps=steps, mode="model",
         pipeline_slabs=pipeline_slabs, threads=threads, lengths=(1.0, 1.0, 8.0),
@@ -64,8 +77,11 @@ def powerllel_point(
         return run_powerllel(job, cfg, backend="mpi", mpi_config=plat.mpi)
     unr_channel = plat.channel
     unr_kwargs = {}
+    if fault_spec is not None and not fault_spec.is_noop:
+        unr_kwargs["reliability"] = True
     if fallback:
-        unr = Unr(job, MpiFallbackChannel(job, plat.fallback), polling=polling)
+        unr = Unr(job, MpiFallbackChannel(job, plat.fallback), polling=polling,
+                  **unr_kwargs)
     else:
         unr = Unr(job, unr_channel, polling=polling, **unr_kwargs)
     return run_powerllel(job, cfg, backend="unr", unr=unr)

@@ -8,6 +8,7 @@
     python -m repro powerllel --platform th-2a  # one Figure 6 cell
     python -m repro fig6     --platform th-2a   # full Figure 6 bars
     python -m repro scaling  --platform th-2a   # Figure 7 series
+    python -m repro faults                      # fault-injection demo
 """
 
 from __future__ import annotations
@@ -24,6 +25,16 @@ def _sizes(text: str) -> List[int]:
         return [int(s) for s in text.split(",") if s]
     except ValueError:
         raise argparse.ArgumentTypeError(f"bad size list {text!r}") from None
+
+
+def _fault_spec(text: str) -> str:
+    from .netsim import FaultSpec
+
+    try:
+        FaultSpec.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,6 +66,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grid", type=_sizes, default=[384, 384, 288],
                    metavar="NX,NY,NZ")
     p.add_argument("--steps", type=int, default=2)
+    p.add_argument("--faults", type=_fault_spec, default=None, metavar="SPEC",
+                   help="fault schedule, e.g. 'drop=0.3,reorder=0.2,rail_fail@t=5.0' "
+                        "(arms the UNR reliability layer)")
+    p.add_argument("--fault-seed", type=int, default=None)
+
+    p = sub.add_parser(
+        "faults",
+        help="fault-injection demo: hostile fabric, correct results, "
+             "identical same-seed replays",
+    )
+    p.add_argument("--faults", type=_fault_spec, default=None, metavar="SPEC",
+                   help="fault schedule (default: drop=0.3,reorder=0.2,rail_fail@t=5.0)")
+    p.add_argument("--platform", default="th-xy")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--size", type=int, default=262144)
+    p.add_argument("--iters", type=int, default=8)
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument("--fault-seed", type=int, default=None)
 
     p = sub.add_parser("fig6", help="Figure 6: baseline vs UNR vs fallback")
     p.add_argument("--platform", default="th-2a")
@@ -143,14 +172,51 @@ def cmd_powerllel(args) -> int:
         args.platform, backend=args.backend, fallback=args.fallback,
         nodes=args.nodes, py=args.py, pz=args.pz,
         nx=nx, ny=ny, nz=nz, steps=args.steps,
+        faults=args.faults, fault_seed=args.fault_seed,
     )
     p = res["phases"]
-    print(f"PowerLLEL [{args.backend}{'+fallback' if args.fallback else ''}] "
+    print(f"PowerLLEL [{args.backend}{'+fallback' if args.fallback else ''}"
+          f"{'+faults' if args.faults else ''}] "
           f"{nx}x{ny}x{nz} on {args.nodes} {args.platform} nodes:")
     print(f"  total {res['time']*1e3:.3f} ms  "
           f"(vel {p['vel_update']*1e3:.3f}, ppe {p['ppe']*1e3:.3f}, "
           f"other {p['other']*1e3:.3f})")
     return 0
+
+
+def cmd_faults(args) -> int:
+    from .bench import DEFAULT_FAULTS, fault_demo
+    from .core import UnrTimeoutError
+
+    spec_text = args.faults or DEFAULT_FAULTS
+    try:
+        out = fault_demo(
+            spec_text, platform=args.platform, n_nodes=args.nodes,
+            size=args.size, iters=args.iters, seed=args.seed,
+            fault_seed=args.fault_seed,
+        )
+    except UnrTimeoutError as exc:
+        print(f"Fault demo on {args.platform}: schedule {spec_text!r} "
+              f"defeated the reliability layer:\n  {exc}")
+        print("  verdict      FAILED (raise max_retries or soften the schedule)")
+        return 1
+    spec = out["spec"]
+    r0, r1 = out["runs"]
+    print(f"Fault demo on {args.platform} ({args.nodes} nodes, "
+          f"{args.iters} x {args.size} B, fault seed {spec.seed:#x}):")
+    print(f"  schedule     {spec_text}")
+    print(f"  fabric       {r0['faults']}")
+    print(f"  reliability  retransmits={r0['retransmits']} "
+          f"duplicates_suppressed={r0['duplicates_suppressed']}")
+    print(f"  trace        {r0['trace']['n_messages']} messages, "
+          f"{r0['trace']['n_dropped']} dropped")
+    print(f"  delivered    {r0['correct']}/{out['iters']} intact "
+          f"(run 2: {r1['correct']}/{out['iters']})")
+    print(f"  replay       traces {'IDENTICAL' if out['identical'] else 'DIVERGED'} "
+          f"({r0['fingerprint'][:16]}… vs {r1['fingerprint'][:16]}…)")
+    ok = out["correct"] and out["identical"]
+    print("  verdict      " + ("OK" if ok else "FAILED"))
+    return 0 if ok else 1
 
 
 def cmd_fig6(args) -> int:
@@ -183,6 +249,7 @@ _COMMANDS = {
     "latency": cmd_latency,
     "multinic": cmd_multinic,
     "powerllel": cmd_powerllel,
+    "faults": cmd_faults,
     "fig6": cmd_fig6,
     "scaling": cmd_scaling,
 }

@@ -15,6 +15,7 @@ from .errors import (
     UnrOverflowError,
     UnrSyncError,
     UnrSyncWarning,
+    UnrTimeoutError,
     UnrUsageError,
 )
 from .levels import LevelPolicy, decode_custom, encode_custom, max_signals, policy_for_channel
@@ -22,7 +23,13 @@ from .memory import Blk, MemoryRegion
 from .plan import PlannedOp, RmaPlan
 from .polling import PollingConfig, PollingEngine
 from .signal import DEFAULT_N_BITS, MASK64, Signal, submessage_addends
-from .transport import DEFAULT_STRIPE_THRESHOLD, MIN_FRAGMENT, Stripe, plan_stripes
+from .transport import (
+    DEFAULT_STRIPE_THRESHOLD,
+    MIN_FRAGMENT,
+    ReliabilityConfig,
+    Stripe,
+    plan_stripes,
+)
 
 __all__ = [
     "Blk",
@@ -35,6 +42,7 @@ __all__ = [
     "PlannedOp",
     "PollingConfig",
     "PollingEngine",
+    "ReliabilityConfig",
     "RmaPlan",
     "Signal",
     "Stripe",
@@ -45,6 +53,7 @@ __all__ = [
     "UnrOverflowError",
     "UnrSyncError",
     "UnrSyncWarning",
+    "UnrTimeoutError",
     "UnrUsageError",
     "alltoallv_convert",
     "decode_custom",

@@ -38,13 +38,14 @@ from .errors import (
     UnrOverflowError,
     UnrSyncError,
     UnrSyncWarning,
+    UnrTimeoutError,
     UnrUsageError,
 )
 from .levels import LevelPolicy, decode_custom, encode_custom, max_signals, policy_for_channel
 from .memory import Blk, MemoryRegion
 from .polling import PollingConfig, PollingEngine
 from .signal import DEFAULT_N_BITS, Signal, submessage_addends
-from .transport import DEFAULT_STRIPE_THRESHOLD, plan_stripes
+from .transport import DEFAULT_STRIPE_THRESHOLD, ReliabilityConfig, plan_stripes
 
 __all__ = ["Unr", "UnrEndpoint"]
 
@@ -82,6 +83,14 @@ class Unr:
     strict:
         Raise on detected synchronization errors / overflows instead of
         warning.
+    reliability:
+        ``None``/``False`` (default) — trust the fabric, the happy
+        path.  ``True`` or a :class:`ReliabilityConfig` — arm the
+        reliability layer: every unordered PUT/GET fragment gets a
+        delivery watchdog with timeout + exponential-backoff retransmit
+        and rail failover, and all notifications carry idempotence
+        tokens so re-deliveries never double-count (required when a
+        :class:`~repro.netsim.faults.FaultInjector` is attached).
     """
 
     def __init__(
@@ -96,6 +105,7 @@ class Unr:
         max_stripe_rails: Optional[int] = None,
         strict: bool = False,
         fallback_config=None,
+        reliability: Union[ReliabilityConfig, bool, None] = None,
     ):
         self.job = job
         self.env = job.env
@@ -108,6 +118,12 @@ class Unr:
         self.strict = strict
         self.stripe_threshold = stripe_threshold
         self.max_stripe_rails = max_stripe_rails
+        if reliability is True:
+            reliability = ReliabilityConfig()
+        elif reliability is False:
+            reliability = None
+        self.reliability: Optional[ReliabilityConfig] = reliability
+        self._op_seq = 0
 
         self.put_remote_policy = policy_for_channel(channel, "put_remote", mode2_split)
         self.put_local_policy = policy_for_channel(channel, "put_local", mode2_split)
@@ -209,13 +225,22 @@ class Unr:
     def _signal_at(self, node: int, sid: int) -> Optional[Signal]:
         return self._sig_tables[node].get(sid)
 
-    def _apply_add(self, node: int, sid: int, addend: int) -> None:
+    def _next_token(self) -> int:
+        """Globally unique idempotence token for one reliable fragment."""
+        self._op_seq += 1
+        return self._op_seq
+
+    def _apply_add(self, node: int, sid: int, addend: int, token=None) -> None:
         sig = self._signal_at(node, sid)
         if sig is None:
             self.stats["stray_completions"] += 1
             return
-        sig.add(addend)
-        self.stats["adds_applied"] += 1
+        before = sig.n_duplicates
+        sig.add(addend, token=token)
+        if sig.n_duplicates != before:
+            self.stats["duplicates_suppressed"] += 1
+        else:
+            self.stats["adds_applied"] += 1
 
     def _handle_record(self, node: int, record: CompletionRecord) -> None:
         """Polling-thread dispatch: decode custom bits, apply the add."""
@@ -232,7 +257,7 @@ class Unr:
                 self.stats["unknown_records"] += 1
                 return
             sid, addend = decode_custom(record.custom, policy)
-        self._apply_add(node, sid, addend)
+        self._apply_add(node, sid, addend, token=record.token)
 
     # -- memory ------------------------------------------------------------
     def _register_mr(
@@ -466,65 +491,167 @@ class UnrEndpoint:
         src_bytes = src_mr.slice(src_blk.offset, src_blk.size)
         unr.stats["puts"] += 1
         unr.stats["fragments"] += k
+        env = self.env
+        rel = unr.reliability
+        # The ordered Level-0 lane and the MPI fallback are already
+        # reliable (exactly-once, in order); only unordered RDMA
+        # fragments need the watchdog.
+        reliable = rel is not None and not software and not ctrl_remote
         for st in stripes:
             dst_view = dst_mr.slice(dst_blk.offset + st.offset, st.size)
             if src_bytes is None or dst_view is None:
                 payload = None
-                deliver = None
+                dst_view = None
             else:
                 payload = src_bytes[st.offset : st.offset + st.size].copy()
+
+            delivered = None
+            if reliable:
+                rtok = unr._next_token() if rsid is not None else None
+                ltok = unr._next_token() if lsid is not None else None
+                delivered = env.event()
+
+                def deliver(data, view=dst_view, evt=delivered):
+                    # First delivery wins; replicas and retransmit races
+                    # must neither rewrite the (possibly reused) buffer
+                    # nor re-arm anything.
+                    if evt.triggered:
+                        return
+                    if view is not None and data is not None:
+                        view[:] = data
+                    evt.succeed(env.now)
+
+            elif dst_view is not None:
 
                 def deliver(data, view=dst_view):
                     view[:] = data
 
+            else:
+                deliver = None
+
             remote_custom = local_custom = None
             remote_action = local_action = None
+            local_sw = None
             if rsid is not None and not ctrl_remote:
-                if software:
+                if software or rpol.hw_offload:
                     remote_action = (
-                        lambda a=r_addends[st.index], n=dst_node, s=rsid: unr._apply_add(n, s, a)
-                    )
-                elif rpol.hw_offload:
-                    remote_action = (
-                        lambda a=r_addends[st.index], n=dst_node, s=rsid: unr._apply_add(n, s, a)
+                        lambda a=r_addends[st.index], n=dst_node, s=rsid,
+                        t=(rtok if reliable else None): unr._apply_add(n, s, a, token=t)
                     )
                 else:
                     remote_custom = encode_custom(rsid, r_addends[st.index], rpol)
             if lsid is not None:
                 if software or lpol.level == 0:
-                    local_action_sw = (
-                        lambda a=l_addends[st.index], n=self.node_index, s=lsid: unr._apply_add(n, s, a)
+                    local_sw = (
+                        lambda a=l_addends[st.index], n=self.node_index, s=lsid,
+                        t=(ltok if reliable else None): unr._apply_add(n, s, a, token=t)
                     )
                     if software:
-                        local_action = local_action_sw
+                        local_action = local_sw
                 elif lpol.hw_offload:
                     local_action = (
-                        lambda a=l_addends[st.index], n=self.node_index, s=lsid: unr._apply_add(n, s, a)
+                        lambda a=l_addends[st.index], n=self.node_index, s=lsid,
+                        t=(ltok if reliable else None): unr._apply_add(n, s, a, token=t)
                     )
                 else:
                     local_custom = encode_custom(lsid, l_addends[st.index], lpol)
 
-            done = ch.put(
-                self.rank,
-                dst_blk.rank,
-                st.size,
-                payload=payload,
-                on_deliver=deliver,
-                remote_custom=remote_custom,
-                local_custom=local_custom,
-                remote_action=remote_action,
-                local_action=local_action,
-                rail=st.rail,
-                ordered=ctrl_remote,  # Level-0 data must stay ordered
-            )
-            if lsid is not None and not software and lpol.level == 0:
-                # No local custom bits: apply the local add in software
-                # when the send completes (the sender knows its own posts).
-                done.callbacks.append(
-                    lambda _e, fn=local_action_sw: fn()
+            def post(rail, st=st, payload=payload, deliver=deliver,
+                     remote_custom=remote_custom, local_custom=local_custom,
+                     remote_action=remote_action, local_action=local_action,
+                     local_sw=local_sw,
+                     rtok=(rtok if reliable else None),
+                     ltok=(ltok if reliable else None)):
+                done = ch.put(
+                    self.rank,
+                    dst_blk.rank,
+                    st.size,
+                    payload=payload,
+                    on_deliver=deliver,
+                    remote_custom=remote_custom,
+                    local_custom=local_custom,
+                    remote_action=remote_action,
+                    local_action=local_action,
+                    rail=rail,
+                    ordered=ctrl_remote,  # Level-0 data must stay ordered
+                    remote_token=rtok,
+                    local_token=ltok,
                 )
+                if local_sw is not None and not software:
+                    # No local custom bits: apply the local add in software
+                    # when the send completes (the sender knows its own
+                    # posts).  Under retransmits the idempotence token
+                    # keeps this a single add.
+                    done.callbacks.append(lambda _e, fn=local_sw: fn())
+                return done
+
+            if reliable:
+                first = self._live_rail(dst_blk.rank, st.rail)
+                post(first)
+                self._watchdog(post, delivered, st.size, dst_blk.rank, first, "PUT")
+            else:
+                post(st.rail)
         if ctrl_remote:
             self._post_ctrl(dst_blk.rank, dst_node, rsid, -1)
+
+    # -- reliability layer ---------------------------------------------------
+    def _live_rail(self, dst_rank: int, preferred: int) -> int:
+        """First rail at or after ``preferred`` whose NICs are alive on
+        both ends (rail failover).  Falls back to ``preferred`` when
+        every rail is dead — the watchdog will then raise."""
+        job = self.job
+        n_rails = min(
+            job.node_of(self.rank).n_rails,
+            job.node_of(dst_rank).n_rails,
+        )
+        for i in range(n_rails):
+            rail = (preferred + i) % n_rails
+            if not (job.nic_of(self.rank, rail).failed
+                    or job.nic_of(dst_rank, rail).failed):
+                return rail
+        return preferred % n_rails
+
+    def _delivery_estimate(self, nbytes: int, round_trip: bool = False) -> float:
+        """No-contention delivery time of one fragment (seconds); the
+        watchdog timeout scales from this so large stripes are not
+        declared lost while still serializing onto the wire."""
+        spec = self.job.cluster.spec.nic
+        est = spec.msg_overhead + spec.latency + nbytes / spec.bandwidth + spec.rx_overhead
+        if round_trip:
+            est += spec.msg_overhead + spec.latency
+        return est
+
+    def _watchdog(self, post, delivered, nbytes: int, dst_rank: int,
+                  first_rail: int, what: str, round_trip: bool = False) -> None:
+        """Guard one posted fragment: retransmit (with exponential
+        backoff, moving to the next live rail each attempt) until
+        ``delivered`` fires, else raise :class:`UnrTimeoutError`."""
+        unr = self.unr
+        rel = unr.reliability
+        env = self.env
+        base = rel.fragment_timeout(self._delivery_estimate(nbytes, round_trip))
+
+        def guard():
+            rail = first_rail
+            t = base
+            for attempt in range(rel.max_retries + 1):
+                yield env.any_of([delivered, env.timeout(t)])
+                if delivered.triggered:
+                    return
+                if attempt == rel.max_retries:
+                    break
+                rail = self._live_rail(dst_rank, rail + 1)
+                unr.stats["retransmits"] += 1
+                post(rail)
+                t = min(t * rel.backoff_factor, max(rel.max_backoff, base))
+            unr.stats["reliability_failures"] += 1
+            raise UnrTimeoutError(
+                f"{what} of {nbytes}B from rank {self.rank} to rank {dst_rank}: "
+                f"no delivery after {rel.max_retries} retransmits "
+                f"(last timeout {t * 1e6:.1f} us)"
+            )
+
+        env.process(guard(), name=f"unr-watchdog-{what.lower()}")
 
     def _max_stripe_k(self, policy: LevelPolicy) -> int:
         """Largest stripe count whose addends fit the policy's bits."""
@@ -603,16 +730,38 @@ class UnrEndpoint:
         local_view = local_mr.slice(local_blk.offset, local_blk.size)
         unr.stats["gets"] += 1
         virtual = remote_view is None or local_view is None
+        env = self.env
+        rel = unr.reliability
+        reliable = rel is not None and not software
+        rtok = unr._next_token() if (reliable and rsid is not None and not ctrl_remote) else None
+        ltok = unr._next_token() if (reliable and lsid is not None) else None
+
+        delivered = None
+        if reliable:
+            delivered = env.event()
+
+            def deliver(data, evt=delivered):
+                if evt.triggered:
+                    return
+                if not virtual and data is not None:
+                    local_view[:] = data
+                evt.succeed(env.now)
+
+        elif virtual:
+            deliver = None
+        else:
+            deliver = lambda data: local_view.__setitem__(slice(None), data)
 
         remote_custom = local_custom = None
         remote_action = local_action = None
+        local_sw = None
         if rsid is not None and not ctrl_remote:
             if software or rpol.hw_offload:
-                remote_action = lambda n=remote_node, s=rsid: unr._apply_add(n, s, -1)
+                remote_action = lambda n=remote_node, s=rsid, t=rtok: unr._apply_add(n, s, -1, token=t)
             else:
                 remote_custom = encode_custom(rsid, -1, rpol)
         if lsid is not None:
-            local_sw = lambda n=self.node_index, s=lsid: unr._apply_add(n, s, -1)
+            local_sw = lambda n=self.node_index, s=lsid, t=ltok: unr._apply_add(n, s, -1, token=t)
             if software:
                 local_action = local_sw
             elif lpol.hw_offload:
@@ -622,27 +771,46 @@ class UnrEndpoint:
             else:
                 local_custom = encode_custom(lsid, -1, lpol)
 
-        done = ch.get(
-            self.rank,
-            remote_blk.rank,
-            local_blk.size,
-            fetch=None if virtual else (lambda: remote_view.copy()),
-            on_deliver=None if virtual else (
-                lambda data: local_view.__setitem__(slice(None), data)
-            ),
-            remote_custom=remote_custom,
-            local_custom=local_custom,
-            remote_action=remote_action,
-            local_action=local_action,
-        )
-        if lsid is not None and not software and lpol.level == 0:
-            done.callbacks.append(lambda _e, fn=local_sw: fn())
-        if ctrl_remote:
-            # Notify the target after our read completed.
-            def after(_e):
-                self._post_ctrl(remote_blk.rank, remote_node, rsid, -1)
+        def post(rail):
+            done = ch.get(
+                self.rank,
+                remote_blk.rank,
+                local_blk.size,
+                fetch=None if virtual else (lambda: remote_view.copy()),
+                on_deliver=deliver,
+                remote_custom=remote_custom,
+                local_custom=local_custom,
+                remote_action=remote_action,
+                local_action=local_action,
+                rail=rail,
+                remote_token=rtok,
+                local_token=ltok,
+            )
+            if not reliable:
+                if lsid is not None and not software and lpol.level == 0:
+                    done.callbacks.append(lambda _e, fn=local_sw: fn())
+                if ctrl_remote:
+                    # Notify the target after our read completed.
+                    done.callbacks.append(
+                        lambda _e: self._post_ctrl(remote_blk.rank, remote_node, rsid, -1)
+                    )
+            return done
 
-            done.callbacks.append(after)
+        if reliable:
+            # Post-completion actions fire on *actual* delivery, exactly
+            # once, no matter how many attempts the watchdog makes.
+            if lsid is not None and not software and lpol.level == 0:
+                delivered.callbacks.append(lambda _e, fn=local_sw: fn())
+            if ctrl_remote:
+                delivered.callbacks.append(
+                    lambda _e: self._post_ctrl(remote_blk.rank, remote_node, rsid, -1)
+                )
+            first = self._live_rail(remote_blk.rank, 0)
+            post(first)
+            self._watchdog(post, delivered, local_blk.size, remote_blk.rank,
+                           first, "GET", round_trip=True)
+        else:
+            post(0)
 
     # -- plans ---------------------------------------------------------------
     def plan(self) -> "RmaPlan":

@@ -6,6 +6,7 @@ __all__ = [
     "UnrError",
     "UnrSyncError",
     "UnrOverflowError",
+    "UnrTimeoutError",
     "UnrUsageError",
     "UnrSyncWarning",
     "UnrDegradeWarning",
@@ -25,6 +26,14 @@ class UnrSyncError(UnrError):
 class UnrOverflowError(UnrError):
     """``sig_wait`` found the event-overflow detect bit set: more than
     ``num_event`` events were delivered to the signal."""
+
+
+class UnrTimeoutError(UnrError):
+    """A reliable operation exhausted its retry budget: the fragment was
+    retransmitted ``max_retries`` times (with exponential backoff and,
+    where possible, rail failover) and still never acknowledged.  Raised
+    instead of hanging the event loop so fault-injection runs terminate
+    deterministically."""
 
 
 class UnrUsageError(UnrError):

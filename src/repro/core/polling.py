@@ -102,6 +102,10 @@ class PollingEngine:
         delay = self.config.dispatch_delay
         while True:
             record = yield nic.cq.get()
+            # A stalled CQ (fault injection) holds its records back: the
+            # progress engine is wedged until the stall window passes.
+            while nic.cq.is_stalled:
+                yield self.env.timeout(nic.cq.stalled_until - self.env.now)
             if delay > 0:
                 yield self.env.timeout(delay)
             self._apply(record)

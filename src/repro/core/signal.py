@@ -32,6 +32,7 @@ aggregation safe under adaptive routing.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import List, Optional
 
 from ..sim import Environment, Event
@@ -91,8 +92,16 @@ class Signal:
         "owner_rank",
         "n_triggers",
         "n_adds",
+        "n_duplicates",
         "armed",
+        "_seen_tokens",
+        "_seen_order",
     )
+
+    #: how many delivery tokens each signal remembers for duplicate
+    #: suppression; a faulted fabric only re-delivers within a bounded
+    #: window, so a bounded history suffices and soak tests stay O(1).
+    TOKEN_WINDOW = 8192
 
     def __init__(
         self,
@@ -117,7 +126,10 @@ class Signal:
         self._wait_event: Optional[Event] = None
         self.n_triggers = 0
         self.n_adds = 0
+        self.n_duplicates = 0
         self.armed = True
+        self._seen_tokens: set = set()
+        self._seen_order: deque = deque()
 
     # -- counter views ------------------------------------------------------
     @property
@@ -147,12 +159,36 @@ class Signal:
         return self._counter == 0
 
     # -- MMAS operations -----------------------------------------------------
-    def add(self, addend: int) -> bool:
+    def accept(self, token) -> bool:
+        """Record a delivery token; return False if it was seen before.
+
+        A faulted fabric (or a reliability-layer retransmit racing its
+        original) can deliver the same completion twice.  Each reliable
+        delivery carries a globally unique token; replaying one must not
+        move the counter, or a striped message would trigger early and
+        corrupt the MMAS accounting.  ``token=None`` (the fault-free
+        fast path) is always accepted.
+        """
+        if token is None:
+            return True
+        if token in self._seen_tokens:
+            self.n_duplicates += 1
+            return False
+        self._seen_tokens.add(token)
+        self._seen_order.append(token)
+        if len(self._seen_order) > self.TOKEN_WINDOW:
+            self._seen_tokens.discard(self._seen_order.popleft())
+        return True
+
+    def add(self, addend: int, token=None) -> bool:
         """Apply ``*p += a`` (what the polling thread or Level-4 NIC does).
 
         Returns True when this add brought the counter to zero
-        (signal triggered).
+        (signal triggered).  A duplicate ``token`` makes the add a no-op
+        (idempotent re-delivery, see :meth:`accept`).
         """
+        if not self.accept(token):
+            return False
         self._counter = _to_unsigned(self._counter + addend)
         self.n_adds += 1
         if self._counter == 0:
@@ -167,7 +203,12 @@ class Signal:
         return False
 
     def _reset_counter(self) -> None:
-        """Set the counter to ``num_event`` (used by ``sig_reset``)."""
+        """Set the counter to ``num_event`` (used by ``sig_reset``).
+
+        The token history is deliberately *not* cleared: tokens are
+        globally unique per posted fragment, and a late duplicate from
+        before the reset must still be suppressed afterwards.
+        """
         self._counter = self.num_event
         self._wait_event = None
 

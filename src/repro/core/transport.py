@@ -13,10 +13,64 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-__all__ = ["Stripe", "plan_stripes", "DEFAULT_STRIPE_THRESHOLD", "MIN_FRAGMENT"]
+__all__ = [
+    "Stripe",
+    "plan_stripes",
+    "ReliabilityConfig",
+    "DEFAULT_STRIPE_THRESHOLD",
+    "MIN_FRAGMENT",
+]
 
 DEFAULT_STRIPE_THRESHOLD = 64 * 1024
 MIN_FRAGMENT = 8 * 1024
+
+_US = 1e-6
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Per-operation timeout / retransmit policy (the reliability layer).
+
+    Every reliably-posted fragment gets a watchdog: if delivery is not
+    confirmed within the timeout, the fragment is retransmitted — on the
+    next surviving rail when the message is striped (rail failover) —
+    with exponential backoff, up to ``max_retries`` times, after which
+    :class:`~repro.core.errors.UnrTimeoutError` is raised.
+
+    The effective timeout scales with the fragment: it is at least
+    ``timeout_us`` and at least ``timeout_factor`` times the model's
+    no-contention delivery estimate, so 1 MiB stripes are not declared
+    lost while still serializing onto the wire.
+    """
+
+    timeout_us: float = 25.0
+    timeout_factor: float = 4.0
+    max_retries: int = 10
+    backoff_factor: float = 2.0
+    max_backoff_us: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_us <= 0:
+            raise ValueError("timeout_us must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    @property
+    def timeout(self) -> float:
+        """Base timeout in seconds."""
+        return self.timeout_us * _US
+
+    @property
+    def max_backoff(self) -> float:
+        """Backoff ceiling in seconds."""
+        return self.max_backoff_us * _US
+
+    def fragment_timeout(self, estimate: float) -> float:
+        """Timeout in seconds for a fragment whose no-contention
+        delivery time is ``estimate`` seconds."""
+        return max(self.timeout, self.timeout_factor * estimate)
 
 
 @dataclass(frozen=True)

@@ -85,12 +85,16 @@ class RmaChannel:
         local_action: Optional[Callable[[], None]] = None,
         rail: int = 0,
         ordered: bool = False,
+        remote_token: Any = None,
+        local_token: Any = None,
     ) -> Event:
         """Notifiable PUT; returns the local-completion event.
 
         ``remote_custom``/``local_custom`` land in the corresponding
         CQ entries.  ``remote_action``/``local_action`` are Level-4
         hardware atomic adds executed by the NIC when supported.
+        ``remote_token``/``local_token`` tag the CQ entries for
+        duplicate suppression when the reliability layer retransmits.
         """
         cap = self.capability
         if remote_action is None or not self.hw_atomic_offload():
@@ -108,6 +112,7 @@ class RmaChannel:
                 src_node=src_nic.node.index,
                 dst_node=dst_nic.node.index,
                 post_time=self.env.now,
+                token=remote_token,
             )
         local_record = None
         if local_custom is not None:
@@ -118,6 +123,7 @@ class RmaChannel:
                 src_node=src_nic.node.index,
                 dst_node=dst_nic.node.index,
                 post_time=self.env.now,
+                token=local_token,
             )
         return src_nic.post_put(
             dst_nic,
@@ -145,6 +151,8 @@ class RmaChannel:
         remote_action: Optional[Callable[[], None]] = None,
         local_action: Optional[Callable[[], None]] = None,
         rail: int = 0,
+        remote_token: Any = None,
+        local_token: Any = None,
     ) -> Event:
         """Notifiable GET from ``dst_rank``'s memory into ``src_rank``'s."""
         cap = self.capability
@@ -163,6 +171,7 @@ class RmaChannel:
                 src_node=src_nic.node.index,
                 dst_node=dst_nic.node.index,
                 post_time=self.env.now,
+                token=remote_token,
             )
         local_record = None
         if local_custom is not None:
@@ -173,6 +182,7 @@ class RmaChannel:
                 src_node=src_nic.node.index,
                 dst_node=dst_nic.node.index,
                 post_time=self.env.now,
+                token=local_token,
             )
         return src_nic.post_get(
             dst_nic,

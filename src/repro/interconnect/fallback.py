@@ -80,7 +80,11 @@ class MpiFallbackChannel(RmaChannel):
         local_action: Optional[Callable[[], None]] = None,
         rail: int = 0,
         ordered: bool = True,
+        remote_token: Any = None,
+        local_token: Any = None,
     ) -> Event:
+        # remote_token/local_token are accepted for interface parity and
+        # ignored: MPI delivery is already exactly-once (reliable lane).
         cfg = self.config
         env = self.env
         src_nic = self.job.nic_of(src_rank, rail)
@@ -131,6 +135,8 @@ class MpiFallbackChannel(RmaChannel):
         remote_action: Optional[Callable[[], None]] = None,
         local_action: Optional[Callable[[], None]] = None,
         rail: int = 0,
+        remote_token: Any = None,
+        local_token: Any = None,
     ) -> Event:
         """Emulated GET: a request message plus a data message back."""
         cfg = self.config

@@ -8,6 +8,7 @@ contention model so the paper's performance shapes carry over.
 """
 
 from .cluster import Cluster
+from .faults import CqStall, FaultInjector, FaultSpec, RailFailure
 from .nic import CompletionQueue, CompletionRecord, CqOverflowError, Nic
 from .node import CpuSet, Node
 from .spec import GBPS, US, ClusterSpec, FabricSpec, NicSpec, NodeSpec
@@ -21,12 +22,16 @@ __all__ = [
     "CompletionQueue",
     "CompletionRecord",
     "CqOverflowError",
+    "CqStall",
     "CpuSet",
     "FabricSpec",
+    "FaultInjector",
+    "FaultSpec",
     "Nic",
     "NicSpec",
     "MessageTrace",
     "Node",
     "NodeSpec",
+    "RailFailure",
     "TraceRecord",
 ]

@@ -41,6 +41,17 @@ class Cluster:
     def node(self, index: int) -> Node:
         return self.nodes[index]
 
+    def inject_faults(self, spec) -> "FaultInjector":
+        """Attach a :class:`~repro.netsim.faults.FaultInjector` built
+        from ``spec`` (a :class:`FaultSpec` or a spec string).  Attach
+        faults *before* a :class:`~repro.netsim.trace.MessageTrace` so
+        the trace sees post-fault delivery times."""
+        from .faults import FaultInjector, FaultSpec
+
+        if isinstance(spec, str):
+            spec = FaultSpec.parse(spec)
+        return FaultInjector.attach(self, spec)
+
     def total_traffic(self) -> dict:
         """Aggregate NIC counters (for tests and benchmark reports)."""
         tx_msgs = tx_bytes = rx_msgs = rx_bytes = 0

@@ -61,6 +61,9 @@ class CompletionRecord:
     payload: Any = None
     post_time: float = 0.0
     complete_time: float = 0.0
+    #: opaque idempotence token; a faulted fabric may re-deliver the same
+    #: record, and the signal path dedups on this (None = never dedup).
+    token: Any = None
 
 
 class CompletionQueue:
@@ -80,6 +83,19 @@ class CompletionQueue:
         self.n_pushed = 0
         self.n_overflow_stalls = 0
         self.stall_time = 0.0
+        # Fault injection: while stalled, the CQ accepts pushes but
+        # refuses to hand out records (a wedged progress engine).
+        self.stalled_until = 0.0
+
+    @property
+    def is_stalled(self) -> bool:
+        return self.env.now < self.stalled_until
+
+    def stall(self, until: float) -> None:
+        """Suspend servicing (``poll``/``poll_batch``) until sim time
+        ``until``.  Blocking ``get`` waiters already in flight are not
+        interrupted; pollers must check :attr:`is_stalled`."""
+        self.stalled_until = max(self.stalled_until, until)
 
     def __len__(self) -> int:
         return len(self._store)
@@ -102,10 +118,14 @@ class CompletionQueue:
 
     def poll(self) -> Optional[CompletionRecord]:
         """Non-blocking: pop one record or return ``None``."""
+        if self.is_stalled:
+            return None
         return self._store.try_get()
 
     def poll_batch(self, limit: int = 64) -> list:
         """Pop up to ``limit`` records without blocking."""
+        if self.is_stalled:
+            return []
         out = []
         for _ in range(limit):
             rec = self._store.try_get()
@@ -145,6 +165,9 @@ class Nic:
         self.fabric = fabric
         self.rng = rng
         self.cq = CompletionQueue(env, spec.cq_depth)
+        # Fault injection: a failed rail delivers nothing (see
+        # :mod:`repro.netsim.faults`); the happy path never sets this.
+        self.failed = False
         self._tx = _PortState()
         self._rx = _PortState()
         self._tx_msg_free = 0.0  # message-issue-rate horizon (doorbells)

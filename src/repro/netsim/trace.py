@@ -116,18 +116,44 @@ class MessageTrace:
         )
 
     def summary(self) -> Dict:
-        """Aggregate statistics over all delivered messages."""
+        """Aggregate statistics over all messages.
+
+        Undelivered records (dropped by fault injection, or still in
+        flight when the run ended) have ``latency is None``; they are
+        excluded from the latency aggregates but counted explicitly in
+        ``n_dropped`` instead of being silently ignored.
+        """
         delivered = [r for r in self.records if r.deliver_time is not None]
         lat = [r.latency for r in delivered]
         return {
             "n_messages": len(self.records),
             "n_delivered": len(delivered),
+            "n_dropped": len(self.records) - len(delivered),
             "total_bytes": sum(r.nbytes for r in self.records),
             "intra_node_messages": sum(r.intra_node for r in self.records),
             "min_latency": min(lat) if lat else None,
             "max_latency": max(lat) if lat else None,
             "mean_latency": (sum(lat) / len(lat)) if lat else None,
         }
+
+    def fingerprint(self) -> str:
+        """Stable digest of the full record list, order-sensitive.
+
+        Two runs with the same program, seeds, and fault schedule must
+        produce the same fingerprint — the replay guarantee checked by
+        the fault-injection demo and tests.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for r in self.records:
+            h.update(
+                (
+                    f"{r.kind}|{r.src_node}.{r.src_rail}>{r.dst_node}.{r.dst_rail}"
+                    f"|{r.nbytes}|{r.post_time!r}|{r.deliver_time!r}|{r.ordered}\n"
+                ).encode()
+            )
+        return h.hexdigest()
 
     def per_pair_bytes(self) -> Dict[tuple, int]:
         """Bytes moved per (src_node, dst_node)."""
