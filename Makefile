@@ -5,11 +5,15 @@
 #   make test-all    - the full suite including the fault/stress soaks
 #   make test-slow   - only the slow soaks
 #   make demo-faults - the fault-injection acceptance demo
+#   make lint        - unrlint determinism rules (+ ruff when installed)
+#   make typecheck   - mypy strict-lite gate (skipped when not installed)
+#   make check       - lint + typecheck + the UnrSanitizer acceptance run
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+REPRO   = PYTHONPATH=src $(PYTHON) -m repro
 
-.PHONY: test test-fast test-all test-slow demo-faults
+.PHONY: test test-fast test-all test-slow demo-faults lint typecheck check
 
 test: test-fast
 
@@ -24,3 +28,23 @@ test-slow:
 
 demo-faults:
 	PYTHONPATH=src $(PYTHON) -m repro faults
+
+# ruff/mypy are optional locally (the container may not ship them); the
+# unrlint and sanitizer gates always run.  CI installs the full set.
+lint:
+	$(REPRO) lint src/repro
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (CI runs it)"; \
+	fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping (CI runs it)"; \
+	fi
+
+check: lint typecheck
+	$(REPRO) check

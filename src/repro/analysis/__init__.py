@@ -1,0 +1,44 @@
+"""Static and dynamic analysis for the UNR reproduction.
+
+Two halves, mirroring the split between compile-time and run-time
+reproducibility discipline:
+
+* :mod:`repro.analysis.unrlint` — an AST linter (stdlib ``ast``, no
+  dependencies) with UNR-specific determinism rules UNR001–UNR005.
+  Run via ``repro lint`` or :func:`lint_paths`.
+* :mod:`repro.analysis.sanitizer` — the opt-in UnrSanitizer runtime
+  checks (``Unr(sanitize=True)`` / ``UNR_SANITIZE=1``), surfacing
+  out-of-bounds RMA, overlapping registrations, over-width custom-bit
+  payloads, use-after-free and leaked notifications through a
+  structured :class:`SanitizerReport`.  Run via ``repro check``.
+
+:mod:`repro.analysis.selfcheck` (imported lazily — it pulls in the
+whole library) drives the sanitized stream demo and the deliberate
+violation battery behind ``repro check``.
+"""
+
+from .sanitizer import SanitizerFinding, SanitizerReport, UnrSanitizer
+from .unrlint import (
+    RULES,
+    Finding,
+    LintConfig,
+    Rule,
+    format_findings,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "RULES",
+    "Rule",
+    "SanitizerFinding",
+    "SanitizerReport",
+    "UnrSanitizer",
+    "format_findings",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -23,7 +23,6 @@ from ..core import Unr
 from ..mpi import MpiWorld, Win
 from ..platforms import get_platform, make_job
 from ..runtime import run_job
-from ..sim import Environment
 
 __all__ = ["unr_pingpong", "mpi_rma_pingpong", "latency_table", "DEFAULT_SIZES"]
 

@@ -12,7 +12,7 @@ what a real run of that grid would see on the simulated hardware.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..core import PollingConfig, Unr
 from ..interconnect import MpiFallbackChannel

@@ -9,6 +9,8 @@
     python -m repro fig6     --platform th-2a   # full Figure 6 bars
     python -m repro scaling  --platform th-2a   # Figure 7 series
     python -m repro faults                      # fault-injection demo
+    python -m repro lint src/repro              # unrlint determinism rules
+    python -m repro check                       # UnrSanitizer runtime checks
 """
 
 from __future__ import annotations
@@ -93,6 +95,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--platform", choices=["th-2a", "th-xy"], default="th-2a")
     p.add_argument("--steps", type=int, default=1)
     p.add_argument("--max-points", type=int, default=None)
+
+    p = sub.add_parser(
+        "lint",
+        help="unrlint: static determinism rules UNR001-UNR005 over Python sources",
+    )
+    p.add_argument("paths", nargs="*", default=["src/repro"],
+                   help="files or directories to lint (default: src/repro)")
+    p.add_argument("--select", default=None, metavar="IDS",
+                   help="comma-separated rule ids to check (default: all)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule table and exit")
+
+    p = sub.add_parser(
+        "check",
+        help="UnrSanitizer runtime checks: sanitized stream demo + "
+             "deliberate-violation self-test",
+    )
+    p.add_argument("--platform", default="th-xy")
+    p.add_argument("--size", type=int, default=65536)
+    p.add_argument("--iters", type=int, default=4)
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument("--no-selftest", action="store_true",
+                   help="skip the deliberate-violation battery")
 
     return parser
 
@@ -244,6 +269,66 @@ def cmd_scaling(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .analysis import RULES, LintConfig, format_findings, lint_paths
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.id}  {rule.summary}")
+            print(f"        fix: {rule.hint}")
+        return 0
+    select = None
+    if args.select:
+        select = frozenset(s.strip() for s in args.select.split(",") if s.strip())
+        unknown = select - set(RULES)
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+            return 2
+    config = LintConfig(select=select)
+    findings = lint_paths(args.paths, config=config)
+    if findings:
+        print(format_findings(findings))
+        return 1
+    print(f"unrlint: {', '.join(args.paths)} clean "
+          f"({len(RULES) if select is None else len(select)} rules)")
+    return 0
+
+
+def cmd_check(args) -> int:
+    from .analysis.selfcheck import (
+        SELFTEST_KINDS,
+        sanitized_stream_demo,
+        sanitizer_selftest,
+    )
+
+    demo = sanitized_stream_demo(
+        platform=args.platform, size=args.size, iters=args.iters, seed=args.seed,
+    )
+    report = demo["report"]
+    print(f"UnrSanitizer check on {args.platform} "
+          f"({args.iters} x {args.size} B stream):")
+    print(f"  armed run     {len(report)} finding(s) (expected 0)")
+    if len(report):
+        for finding in report:
+            print(f"    {finding.format()}")
+    print(f"  delivery      {'intact' if demo['correct'] else 'CORRUPTED'}")
+    print(f"  trace         armed vs disarmed fingerprints "
+          f"{'IDENTICAL' if demo['identical'] else 'DIVERGED'}")
+    ok = report.ok and demo["identical"] and demo["correct"]
+
+    if not args.no_selftest:
+        results = sanitizer_selftest(args.platform)
+        caught = sum(1 for r in results.values() if r["found"])
+        print(f"  self-test     {caught}/{len(SELFTEST_KINDS)} deliberate "
+              "violations caught:")
+        for kind, res in results.items():
+            print(f"    {'ok  ' if res['found'] else 'MISS'} {kind}")
+        ok = ok and caught == len(SELFTEST_KINDS)
+
+    print("  verdict       " + ("OK" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "tables": cmd_tables,
     "latency": cmd_latency,
@@ -252,6 +337,8 @@ _COMMANDS = {
     "faults": cmd_faults,
     "fig6": cmd_fig6,
     "scaling": cmd_scaling,
+    "lint": cmd_lint,
+    "check": cmd_check,
 }
 
 

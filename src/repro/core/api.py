@@ -23,12 +23,14 @@ signals, never through return values (that is the point of the paper).
 
 from __future__ import annotations
 
+import os
 import warnings
 from collections import Counter
-from typing import Any, List, Optional, Union
+from typing import Any, Callable, Generator, List, Optional, Set, Union
 
 import numpy as np
 
+from ..analysis.sanitizer import SanitizerReport, UnrSanitizer
 from ..interconnect import MpiFallbackChannel, RmaChannel, make_channel
 from ..netsim import CompletionRecord
 from ..runtime import Job
@@ -91,6 +93,14 @@ class Unr:
         and rail failover, and all notifications carry idempotence
         tokens so re-deliveries never double-count (required when a
         :class:`~repro.netsim.faults.FaultInjector` is attached).
+    sanitize:
+        Arm the :class:`~repro.analysis.sanitizer.UnrSanitizer` runtime
+        checks (out-of-bounds RMA, overlapping registrations, over-width
+        custom-bit payloads, use-after-free, leaked notifications).
+        ``None`` (the default) reads the ``UNR_SANITIZE`` environment
+        variable.  The checks are passive — an armed run is
+        trace-identical to a disarmed one; call :meth:`finalize` at the
+        end of the job to collect the report.
     """
 
     def __init__(
@@ -104,9 +114,10 @@ class Unr:
         stripe_threshold: int = DEFAULT_STRIPE_THRESHOLD,
         max_stripe_rails: Optional[int] = None,
         strict: bool = False,
-        fallback_config=None,
+        fallback_config: Any = None,
         reliability: Union[ReliabilityConfig, bool, None] = None,
-    ):
+        sanitize: Optional[bool] = None,
+    ) -> None:
         self.job = job
         self.env = job.env
         if isinstance(channel, str):
@@ -150,12 +161,22 @@ class Unr:
         self._sig_tables: List[dict] = [dict() for _ in range(n_nodes)]
         self._sid_next: List[int] = [0] * n_nodes
         self._sid_free: List[list] = [[] for _ in range(n_nodes)]
+        self._freed_sids: List[Set[int]] = [set() for _ in range(n_nodes)]
         self._mrs: dict = {}
         self._mr_next: List[int] = [0] * job.n_ranks
         self._inbox: List[FilterStore] = [FilterStore(self.env) for _ in range(job.n_ranks)]
         self._endpoints: dict = {}
         self.stats: Counter = Counter()
         self._degrade_warned = False
+
+        if sanitize is None:
+            sanitize = os.environ.get("UNR_SANITIZE", "").lower() in (
+                "1", "true", "yes", "on",
+            )
+        self.sanitizer: Optional[UnrSanitizer] = UnrSanitizer(self) if sanitize else None
+        if self.sanitizer is not None:
+            # Route the interconnect's width chokepoint into the report.
+            self.channel.width_observer = self.sanitizer.on_width_violation
 
         self.polling_config = self._resolve_polling(polling)
         self.engines: List[PollingEngine] = []
@@ -166,7 +187,7 @@ class Unr:
                 )
 
     # ------------------------------------------------------------------
-    def _resolve_polling(self, polling) -> PollingConfig:
+    def _resolve_polling(self, polling: Union[PollingConfig, str, None]) -> PollingConfig:
         if isinstance(polling, PollingConfig):
             return polling
         if isinstance(polling, str):
@@ -195,6 +216,7 @@ class Unr:
         node = self._node_index(rank)
         if self._sid_free[node]:
             sid = self._sid_free[node].pop()
+            self._freed_sids[node].discard(sid)
         else:
             sid = self._sid_next[node]
             self._sid_next[node] += 1
@@ -215,12 +237,15 @@ class Unr:
     def _free_signal(self, sig: Signal) -> None:
         node = self._node_index(sig.owner_rank)
         if self._sig_tables[node].get(sig.sid) is not sig:
+            if self.sanitizer is not None:
+                self.sanitizer.on_signal_double_free(sig)
             raise UnrUsageError(
                 f"signal {sig.sid} is not registered (double free?)"
             )
         del self._sig_tables[node][sig.sid]
         sig.armed = False
         self._sid_free[node].append(sig.sid)
+        self._freed_sids[node].add(sig.sid)
 
     def _signal_at(self, node: int, sid: int) -> Optional[Signal]:
         return self._sig_tables[node].get(sid)
@@ -230,7 +255,7 @@ class Unr:
         self._op_seq += 1
         return self._op_seq
 
-    def _apply_add(self, node: int, sid: int, addend: int, token=None) -> None:
+    def _apply_add(self, node: int, sid: int, addend: int, token: Optional[int] = None) -> None:
         sig = self._signal_at(node, sid)
         if sig is None:
             self.stats["stray_completions"] += 1
@@ -266,6 +291,8 @@ class Unr:
         handle = self._mr_next[rank]
         self._mr_next[rank] += 1
         mr = MemoryRegion(rank, handle, array, virtual_nbytes=virtual_nbytes)
+        if self.sanitizer is not None:
+            self.sanitizer.on_mem_reg(mr)
         self._mrs[(rank, handle)] = mr
         return mr
 
@@ -291,6 +318,20 @@ class Unr:
             raise UnrOverflowError(message)
         warnings.warn(message, UnrSyncWarning, stacklevel=4)
 
+    def finalize(self) -> Optional[SanitizerReport]:
+        """End-of-job hook: collect the sanitizer report (if armed).
+
+        Scans every node's signal table for leaked notifications
+        (counters stuck mid-count), set overflow bits and stray
+        completions.  Returns ``None`` when the sanitizer is disarmed;
+        idempotent otherwise.
+        """
+        if self.sanitizer is None:
+            return None
+        if not self.sanitizer.report.finalized:
+            self.sanitizer.finalize()
+        return self.sanitizer.report
+
     def __repr__(self) -> str:
         return (
             f"<Unr channel={self.channel.name} level={self.level} "
@@ -301,7 +342,7 @@ class Unr:
 class UnrEndpoint:
     """Per-rank view of the UNR library (use from that rank's program)."""
 
-    def __init__(self, unr: Unr, rank: int):
+    def __init__(self, unr: Unr, rank: int) -> None:
         self.unr = unr
         self.rank = rank
         self.env = unr.env
@@ -370,7 +411,7 @@ class UnrEndpoint:
             )
         sig._reset_counter()
 
-    def sig_wait(self, sig: Signal):
+    def sig_wait(self, sig: Signal) -> Generator[Any, Any, Signal]:
         """Generator: wait until ``sig`` triggers (paper: ``UNR_Sig_Wait``).
 
         Also checks the event-overflow detect bit: if more than
@@ -389,7 +430,9 @@ class UnrEndpoint:
         return sig.is_zero
 
     # -- out-of-band control (BLK exchange, paper Code 2 lines 6/12) --------
-    def send_ctl(self, dst_rank: int, obj: Any, tag: Any = None, nbytes: int = _CTRL_BYTES):
+    def send_ctl(
+        self, dst_rank: int, obj: Any, tag: Any = None, nbytes: int = _CTRL_BYTES
+    ) -> Generator[Any, Any, None]:
         """Generator: send a small control object to ``dst_rank``.
 
         ``nbytes`` sets the on-the-wire size (defaults to a bare (p, a)
@@ -406,14 +449,16 @@ class UnrEndpoint:
         )
         yield done
 
-    def recv_ctl(self, src_rank: int, tag: Any = None):
+    def recv_ctl(self, src_rank: int, tag: Any = None) -> Generator[Any, Any, Any]:
         """Generator: receive a control object from ``src_rank``."""
         item = yield self.unr._inbox[self.rank].get(
             lambda m: m[0] == src_rank and m[1] == tag
         )
         return item[2]
 
-    def exchange_blk(self, peer_rank: int, blk: Blk, tag: Any = "blk"):
+    def exchange_blk(
+        self, peer_rank: int, blk: Blk, tag: Any = "blk"
+    ) -> Generator[Any, Any, Blk]:
         """Generator: swap BLKs with ``peer_rank``; returns the peer's.
 
         This is the paper's replacement for manual remote-offset
@@ -429,8 +474,8 @@ class UnrEndpoint:
         src_blk: Blk,
         dst_blk: Blk,
         *,
-        remote_sid=_UNSET,
-        local_signal=_UNSET,
+        remote_sid: Any = _UNSET,
+        local_signal: Any = _UNSET,
     ) -> None:
         """Non-blocking notifiable PUT (paper: ``UNR_Put``).
 
@@ -447,13 +492,18 @@ class UnrEndpoint:
             raise UnrUsageError(
                 f"size mismatch: src {src_blk.size}B vs dst {dst_blk.size}B"
             )
-        src_mr = unr._mr_of(src_blk)
-        dst_mr = unr._mr_of(dst_blk)
         rsid = dst_blk.signal_sid if remote_sid is _UNSET else remote_sid
         if local_signal is _UNSET:
             lsid = src_blk.signal_sid
         else:
             lsid = None if local_signal is None else local_signal.sid
+        if unr.sanitizer is not None:
+            unr.sanitizer.check_rma(
+                "put", self.rank, src_blk, dst_blk,
+                remote_sid=rsid, local_sid=lsid,
+            )
+        src_mr = unr._mr_of(src_blk)
+        dst_mr = unr._mr_of(dst_blk)
         dst_node = unr._node_index(dst_blk.rank)
 
         ch = unr.channel
@@ -511,7 +561,7 @@ class UnrEndpoint:
                 ltok = unr._next_token() if lsid is not None else None
                 delivered = env.event()
 
-                def deliver(data, view=dst_view, evt=delivered):
+                def deliver(data: Any, view: Any = dst_view, evt: Any = delivered) -> None:
                     # First delivery wins; replicas and retransmit races
                     # must neither rewrite the (possibly reused) buffer
                     # nor re-arm anything.
@@ -523,7 +573,7 @@ class UnrEndpoint:
 
             elif dst_view is not None:
 
-                def deliver(data, view=dst_view):
+                def deliver(data: Any, view: Any = dst_view) -> None:
                     view[:] = data
 
             else:
@@ -556,12 +606,13 @@ class UnrEndpoint:
                 else:
                     local_custom = encode_custom(lsid, l_addends[st.index], lpol)
 
-            def post(rail, st=st, payload=payload, deliver=deliver,
-                     remote_custom=remote_custom, local_custom=local_custom,
-                     remote_action=remote_action, local_action=local_action,
-                     local_sw=local_sw,
-                     rtok=(rtok if reliable else None),
-                     ltok=(ltok if reliable else None)):
+            def post(rail: int, st: Any = st, payload: Any = payload,
+                     deliver: Any = deliver,
+                     remote_custom: Any = remote_custom, local_custom: Any = local_custom,
+                     remote_action: Any = remote_action, local_action: Any = local_action,
+                     local_sw: Any = local_sw,
+                     rtok: Any = (rtok if reliable else None),
+                     ltok: Any = (ltok if reliable else None)) -> Any:
                 done = ch.put(
                     self.rank,
                     dst_blk.rank,
@@ -621,8 +672,9 @@ class UnrEndpoint:
             est += spec.msg_overhead + spec.latency
         return est
 
-    def _watchdog(self, post, delivered, nbytes: int, dst_rank: int,
-                  first_rail: int, what: str, round_trip: bool = False) -> None:
+    def _watchdog(self, post: Callable[[int], Any], delivered: Any, nbytes: int,
+                  dst_rank: int, first_rail: int, what: str,
+                  round_trip: bool = False) -> None:
         """Guard one posted fragment: retransmit (with exponential
         backoff, moving to the next live rail each attempt) until
         ``delivered`` fires, else raise :class:`UnrTimeoutError`."""
@@ -631,7 +683,7 @@ class UnrEndpoint:
         env = self.env
         base = rel.fragment_timeout(self._delivery_estimate(nbytes, round_trip))
 
-        def guard():
+        def guard() -> Generator[Any, Any, None]:
             rail = first_rail
             t = base
             for attempt in range(rel.max_retries + 1):
@@ -669,7 +721,7 @@ class UnrEndpoint:
         dst_nic = self.job.nic_of(dst_rank)
         env = self.env
 
-        def deliver(_payload):
+        def deliver(_payload: Any) -> None:
             rec = CompletionRecord(
                 kind="ctrl",
                 payload=(sid, addend),
@@ -692,8 +744,8 @@ class UnrEndpoint:
         local_blk: Blk,
         remote_blk: Blk,
         *,
-        remote_sid=_UNSET,
-        local_signal=_UNSET,
+        remote_sid: Any = _UNSET,
+        local_signal: Any = _UNSET,
     ) -> None:
         """Non-blocking notifiable GET (paper: ``UNR_Get``).
 
@@ -709,13 +761,18 @@ class UnrEndpoint:
             raise UnrUsageError(
                 f"size mismatch: local {local_blk.size}B vs remote {remote_blk.size}B"
             )
-        local_mr = unr._mr_of(local_blk)
-        remote_mr = unr._mr_of(remote_blk)
         rsid = remote_blk.signal_sid if remote_sid is _UNSET else remote_sid
         if local_signal is _UNSET:
             lsid = local_blk.signal_sid
         else:
             lsid = None if local_signal is None else local_signal.sid
+        if unr.sanitizer is not None:
+            unr.sanitizer.check_rma(
+                "get", self.rank, local_blk, remote_blk,
+                remote_sid=rsid, local_sid=lsid,
+            )
+        local_mr = unr._mr_of(local_blk)
+        remote_mr = unr._mr_of(remote_blk)
         remote_node = unr._node_index(remote_blk.rank)
 
         ch = unr.channel
@@ -740,7 +797,7 @@ class UnrEndpoint:
         if reliable:
             delivered = env.event()
 
-            def deliver(data, evt=delivered):
+            def deliver(data: Any, evt: Any = delivered) -> None:
                 if evt.triggered:
                     return
                 if not virtual and data is not None:
@@ -771,7 +828,7 @@ class UnrEndpoint:
             else:
                 local_custom = encode_custom(lsid, -1, lpol)
 
-        def post(rail):
+        def post(rail: int) -> Any:
             done = ch.get(
                 self.rank,
                 remote_blk.rank,

@@ -14,11 +14,12 @@ represents the address-information exchange.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Generator, List, Optional, Sequence
 
 from .api import UnrEndpoint
 from .errors import UnrUsageError
-from .memory import MemoryRegion
+from .memory import Blk, MemoryRegion
+from .plan import RmaPlan
 from .signal import Signal
 
 __all__ = [
@@ -37,7 +38,7 @@ def isend_convert(
     dst: int,
     tag: int,
     send_finish_sig: Optional[Signal] = None,
-):
+) -> Generator[Any, Any, RmaPlan]:
     """Sender half of an Isend/Irecv pair → returns a one-PUT plan.
 
     The matching receiver must run :func:`irecv_convert` with the same
@@ -63,7 +64,7 @@ def irecv_convert(
     src: int,
     tag: int,
     recv_finish_sig: Optional[Signal] = None,
-):
+) -> Generator[Any, Any, Blk]:
     """Receiver half: publishes the receive block to the sender.
 
     Completion of each iteration's receive is observed through
@@ -86,7 +87,7 @@ def sendrecv_convert(
     tag: int,
     send_finish_sig: Optional[Signal] = None,
     recv_finish_sig: Optional[Signal] = None,
-):
+) -> Generator[Any, Any, RmaPlan]:
     """Bidirectional neighbour exchange (paper's ``MPI_Sendrecv_Convert``).
 
     Used by the PDD tridiagonal solver's top/bottom neighbour traffic."""
@@ -110,7 +111,7 @@ def alltoallv_convert(
     recv_displs: Sequence[int],
     send_finish_sig: Optional[Signal] = None,
     recv_finish_sig: Optional[Signal] = None,
-):
+) -> Generator[Any, Any, RmaPlan]:
     """All-to-all(v) over the ranks of a (sub-)communicator → PUT plan.
 
     ``ranks`` lists the communicator's global ranks (this endpoint's

@@ -37,7 +37,7 @@ class MemoryRegion:
         handle: int,
         array: Optional[np.ndarray],
         virtual_nbytes: Optional[int] = None,
-    ):
+    ) -> None:
         self.owner_rank = owner_rank
         self.handle = handle
         self._virtual_nbytes = None
@@ -64,6 +64,18 @@ class MemoryRegion:
     @property
     def is_virtual(self) -> bool:
         return self._virtual_nbytes is not None
+
+    def overlaps(self, other: "MemoryRegion") -> bool:
+        """True when the two registrations share any backing bytes.
+
+        Virtual regions never overlap (they have no storage).  Used by
+        the sanitizer's overlapping-registration check: two live
+        registrations over the same bytes let concurrent RMA corrupt
+        data with no error from either region's bounds checks.
+        """
+        if self.array is None or other.array is None:
+            return False
+        return bool(np.shares_memory(self.array, other.array))
 
     @property
     def nbytes(self) -> int:

@@ -7,10 +7,14 @@ the natural target of the MPI-conversion interfaces (Code 3)."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
 
+from .errors import UnrUsageError
 from .memory import Blk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .api import UnrEndpoint
 
 __all__ = ["RmaPlan", "PlannedOp"]
 
@@ -29,20 +33,23 @@ class PlannedOp:
 class RmaPlan:
     """A recorded sequence of RMA operations for one endpoint."""
 
-    def __init__(self, endpoint):
+    def __init__(self, endpoint: "UnrEndpoint") -> None:
         self.endpoint = endpoint
         self._ops: List[PlannedOp] = []
         self.n_starts = 0
+        self.freed = False
 
     def __len__(self) -> int:
         return len(self._ops)
 
-    def record_put(self, src_blk: Blk, dst_blk: Blk, *, remote_sid=None, override=False) -> "RmaPlan":
+    def record_put(self, src_blk: Blk, dst_blk: Blk, *, remote_sid: Optional[int] = None,
+                   override: bool = False) -> "RmaPlan":
         """Record a PUT (chainable)."""
         self._ops.append(PlannedOp("put", src_blk, dst_blk, remote_sid, override))
         return self
 
-    def record_get(self, local_blk: Blk, remote_blk: Blk, *, remote_sid=None, override=False) -> "RmaPlan":
+    def record_get(self, local_blk: Blk, remote_blk: Blk, *, remote_sid: Optional[int] = None,
+                   override: bool = False) -> "RmaPlan":
         """Record a GET (chainable)."""
         self._ops.append(PlannedOp("get", local_blk, remote_blk, remote_sid, override))
         return self
@@ -54,6 +61,15 @@ class RmaPlan:
         self._ops.extend(other._ops)
         return self
 
+    def free(self) -> None:
+        """Release the plan (paper: ``UNR_Plan_Free``).
+
+        A freed plan must never be started again; doing so raises
+        :class:`~repro.core.errors.UnrUsageError` (and is reported as a
+        use-after-free when the sanitizer is armed).  Freeing twice is
+        harmless."""
+        self.freed = True
+
     def start(self) -> None:
         """Post every recorded operation (paper: ``UNR_Plan_Start``).
 
@@ -61,6 +77,13 @@ class RmaPlan:
         observed through the signals bound to the blocks (or recorded
         overrides)."""
         ep = self.endpoint
+        if self.freed:
+            sanitizer = ep.unr.sanitizer
+            if sanitizer is not None:
+                sanitizer.on_plan_start_after_free(self)
+            raise UnrUsageError(
+                f"plan with {len(self._ops)} op(s) started after free()"
+            )
         self.n_starts += 1
         for op in self._ops:
             kwargs = {}

@@ -19,7 +19,7 @@ fallback.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable, Generator
 
 from ..netsim import CompletionRecord, Node, US
 from ..sim import Environment
@@ -82,7 +82,7 @@ class PollingEngine:
         node: Node,
         config: PollingConfig,
         handler: Callable[[int, CompletionRecord], None],
-    ):
+    ) -> None:
         self.env = env
         self.node = node
         self.config = config
@@ -98,7 +98,7 @@ class PollingEngine:
         for nic in node.nics:
             env.process(self._dispatch_loop(nic), name=f"poll-n{node.index}-r{nic.index}")
 
-    def _dispatch_loop(self, nic):
+    def _dispatch_loop(self, nic: Any) -> Generator[Any, Any, None]:
         delay = self.config.dispatch_delay
         while True:
             record = yield nic.cq.get()

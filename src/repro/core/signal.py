@@ -110,7 +110,7 @@ class Signal:
         num_event: int,
         n_bits: int = DEFAULT_N_BITS,
         owner_rank: int = -1,
-    ):
+    ) -> None:
         if not 1 <= n_bits <= 62:
             raise ValueError(f"n_bits must be in 1..62, got {n_bits}")
         if not 1 <= num_event < (1 << n_bits):
@@ -158,8 +158,18 @@ class Signal:
     def is_zero(self) -> bool:
         return self._counter == 0
 
+    @property
+    def mid_count(self) -> bool:
+        """True when the counter is neither triggered nor fully re-armed.
+
+        A mid-count counter at finalize means notifications were lost
+        in flight (or the application never waited for them) — the
+        leaked-notification condition the sanitizer reports.
+        """
+        return self._counter != 0 and self._counter != self.num_event
+
     # -- MMAS operations -----------------------------------------------------
-    def accept(self, token) -> bool:
+    def accept(self, token: Optional[int]) -> bool:
         """Record a delivery token; return False if it was seen before.
 
         A faulted fabric (or a reliability-layer retransmit racing its
@@ -180,7 +190,7 @@ class Signal:
             self._seen_tokens.discard(self._seen_order.popleft())
         return True
 
-    def add(self, addend: int, token=None) -> bool:
+    def add(self, addend: int, token: Optional[int] = None) -> bool:
         """Apply ``*p += a`` (what the polling thread or Level-4 NIC does).
 
         Returns True when this add brought the counter to zero

@@ -18,6 +18,7 @@ from .adapters import (
 from .capabilities import TABLE_II, Capability, get_capability, support_level
 from .channel import ChannelError, RmaChannel
 from .fallback import MpiFallbackChannel, MpiFallbackConfig
+from .width import WidthViolation, fit_custom
 
 __all__ = [
     "CHANNEL_TYPES",
@@ -33,6 +34,8 @@ __all__ = [
     "UgniChannel",
     "UtofuChannel",
     "VerbsChannel",
+    "WidthViolation",
+    "fit_custom",
     "get_capability",
     "make_channel",
     "support_level",

@@ -21,7 +21,7 @@ Level  PUT custom bits at remote     Implementation specification
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 __all__ = ["Capability", "support_level", "TABLE_II", "get_capability"]
 

@@ -15,30 +15,16 @@ from ..netsim import CompletionRecord
 from ..runtime import Job
 from ..sim import Event
 from .capabilities import Capability, support_level
+from .width import ChannelError, WidthObserver, fit_custom
 
 __all__ = ["ChannelError", "RmaChannel"]
 
-
-class ChannelError(RuntimeError):
-    """Custom-bit overflow or unsupported primitive on this interface."""
-
-
-def _check_width(value: Optional[int], bits: int, what: str, interface: str) -> int:
-    if value is None:
-        return 0
-    if value < 0:
-        raise ChannelError(f"{what}: custom bits must be packed unsigned, got {value}")
-    if bits == 0:
-        raise ChannelError(
-            f"{interface} provides no custom bits for {what}; "
-            "use the Level-0 ordered-message scheme instead"
-        )
-    if value.bit_length() > bits:
-        raise ChannelError(
-            f"{what}: value needs {value.bit_length()} bits, "
-            f"{interface} provides {bits}"
-        )
-    return value
+_SIDE_LABELS = {
+    "put_remote": "PUT remote",
+    "put_local": "PUT local",
+    "get_remote": "GET remote",
+    "get_local": "GET local",
+}
 
 
 class RmaChannel:
@@ -56,6 +42,25 @@ class RmaChannel:
             raise TypeError("RmaChannel subclasses must define a capability")
         self.job = job
         self.env = job.env
+        #: Sanitizer hook: called with a WidthViolation before the
+        #: ChannelError for any payload that exceeds this interface's
+        #: custom-bit budget (see :mod:`repro.interconnect.width`).
+        self.width_observer: Optional[WidthObserver] = None
+
+    def check_payload_width(self, value: Optional[int], side: str) -> int:
+        """Validate a custom-bit payload against one completion side.
+
+        ``side`` is ``put_remote``/``put_local``/``get_remote``/
+        ``get_local``; the effective Table II width of this interface is
+        the budget.  All adapters route their payloads through here —
+        the one chokepoint the sanitizer hooks.
+        """
+        cap = self.capability
+        bits = getattr(cap, f"effective_{side}")
+        return fit_custom(
+            value, bits, _SIDE_LABELS[side], cap.interface,
+            observer=self.width_observer,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -98,9 +103,9 @@ class RmaChannel:
         """
         cap = self.capability
         if remote_action is None or not self.hw_atomic_offload():
-            _check_width(remote_custom, cap.effective_put_remote, "PUT remote", cap.interface)
+            self.check_payload_width(remote_custom, "put_remote")
         if local_action is None or not self.hw_atomic_offload():
-            _check_width(local_custom, cap.effective_put_local, "PUT local", cap.interface)
+            self.check_payload_width(local_custom, "put_local")
         src_nic = self.job.nic_of(src_rank, rail)
         dst_nic = self.job.nic_of(dst_rank, rail)
         remote_record = None
@@ -155,11 +160,10 @@ class RmaChannel:
         local_token: Any = None,
     ) -> Event:
         """Notifiable GET from ``dst_rank``'s memory into ``src_rank``'s."""
-        cap = self.capability
         if remote_action is None or not self.hw_atomic_offload():
-            _check_width(remote_custom, cap.effective_get_remote, "GET remote", cap.interface)
+            self.check_payload_width(remote_custom, "get_remote")
         if local_action is None or not self.hw_atomic_offload():
-            _check_width(local_custom, cap.effective_get_local, "GET local", cap.interface)
+            self.check_payload_width(local_custom, "get_local")
         src_nic = self.job.nic_of(src_rank, rail)
         dst_nic = self.job.nic_of(dst_rank, rail)
         remote_record = None

@@ -12,7 +12,7 @@ first argument; they are also attached to :class:`Comm` as methods.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Sequence
 
 import numpy as np
 

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..netsim import US
-from ..sim import AllOf, Event
+from ..sim import AllOf
 from .world import Comm, MpiError, Phantom
 
 __all__ = ["Win"]

@@ -40,7 +40,7 @@ subject it to the schedule as well.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Optional, Set, Tuple
 
 import numpy as np

@@ -26,7 +26,7 @@ polling thread needed, reproducing the paper's §IV-C proposal.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
 import numpy as np

@@ -8,7 +8,7 @@ removes the interference at the price of fewer compute cores.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

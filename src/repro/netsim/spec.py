@@ -8,7 +8,6 @@ All specs are frozen so a platform definition cannot drift mid-run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 __all__ = ["NicSpec", "FabricSpec", "NodeSpec", "ClusterSpec", "GBPS", "US"]
 

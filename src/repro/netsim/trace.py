@@ -13,7 +13,7 @@ text timelines used in the examples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from .nic import Nic

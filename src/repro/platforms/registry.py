@@ -15,7 +15,7 @@ there), while TH-XY ships a lean MPI (fallback still +20%).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..interconnect import MpiFallbackConfig

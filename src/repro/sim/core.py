@@ -56,7 +56,7 @@ class Interrupt(Exception):
     The ``cause`` attribute carries the value passed to ``interrupt``.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -64,7 +64,7 @@ class Interrupt(Exception):
 class StopProcess(Exception):
     """Raised inside a process generator to terminate it early with a value."""
 
-    def __init__(self, value: Any = None):
+    def __init__(self, value: Any = None) -> None:
         super().__init__(value)
         self.value = value
 
@@ -79,7 +79,7 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_defused")
 
-    def __init__(self, env: "Environment"):
+    def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
@@ -159,7 +159,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         super().__init__(env)
@@ -177,7 +177,7 @@ class Initialize(Event):
 
     __slots__ = ()
 
-    def __init__(self, env: "Environment", process: "Process"):
+    def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
         self._ok = True
         self._value = None
@@ -194,7 +194,7 @@ class Process(Event):
 
     __slots__ = ("_generator", "_target", "name")
 
-    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+    def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
         if not hasattr(generator, "send"):
             raise SimulationError(
                 f"process requires a generator, got {generator!r} "
@@ -323,7 +323,7 @@ class Condition(Event):
         env: "Environment",
         evaluate: Callable[[int, int], bool],
         events: Iterable[Event],
-    ):
+    ) -> None:
         super().__init__(env)
         self._events = list(events)
         self._evaluate = evaluate
@@ -368,7 +368,7 @@ class AllOf(Condition):
 
     __slots__ = ()
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, lambda total, done: done == total, events)
 
 
@@ -377,14 +377,14 @@ class AnyOf(Condition):
 
     __slots__ = ()
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, lambda total, done: done >= 1, events)
 
 
 class Environment:
     """The simulation environment: clock plus event heap."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._heap: List[tuple] = []
         self._seq = 0

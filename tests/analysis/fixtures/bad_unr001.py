@@ -1,0 +1,15 @@
+"""Fixture: every flavour of unseeded randomness (UNR001 x5)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def jitter():
+    a = random.random()
+    b = random.randint(0, 10)
+    c = np.random.rand(4)
+    rng = np.random.default_rng()
+    rng2 = default_rng()
+    return a, b, c, rng, rng2

@@ -1,0 +1,12 @@
+"""Fixture: hash-ordered iteration feeding the event schedule (UNR003 x3)."""
+
+
+def kick_all(env, waiters, by_rank):
+    for evt in {w.event for w in waiters}:
+        env.schedule(evt)
+    for rank in by_rank.keys():
+        env._schedule(by_rank[rank], 0.0)
+    for item in set(waiters):
+        import heapq  # unrlint: disable=UNR004
+
+        heapq.heappush(env._queue, item)

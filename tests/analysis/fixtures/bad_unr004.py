@@ -1,0 +1,11 @@
+"""Fixture: private heap outside the kernel (UNR004 x2)."""
+
+import heapq
+from heapq import heappush
+
+
+def queue_up(items):
+    heap = []
+    for it in sorted(items):
+        heappush(heap, it)
+    return heapq.heappop(heap)

@@ -1,0 +1,17 @@
+"""Fixture: broad handlers that can swallow UnrTimeoutError (UNR005 x3)."""
+
+
+def run_all(jobs, log):
+    for job in jobs:
+        try:
+            job.start()
+        except Exception:
+            log.append("job failed")
+    try:
+        jobs[0].join()
+    except:  # noqa: E722
+        pass
+    try:
+        jobs[-1].join()
+    except (ValueError, Exception) as exc:
+        log.append(str(exc))

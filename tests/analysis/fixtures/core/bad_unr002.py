@@ -1,0 +1,12 @@
+"""Fixture: wall-clock reads inside a deterministic scope (UNR002 x4)."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    t0 = time.time()
+    t1 = time.perf_counter()
+    t2 = time.monotonic_ns()
+    d = datetime.now()
+    return t0, t1, t2, d

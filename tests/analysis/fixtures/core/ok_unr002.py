@@ -1,0 +1,9 @@
+"""Fixture: simulated-clock use inside a deterministic scope — clean."""
+
+import time
+
+
+def stamp(env):
+    now = env.now
+    time.sleep(0)  # sleep is not a wall-clock *read*
+    return now

@@ -1,0 +1,13 @@
+"""Fixture: seeded randomness only — must not trigger UNR001."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def jitter(seed):
+    rng = np.random.default_rng(seed)
+    rng2 = default_rng(seed=seed)
+    local = random.Random(seed)
+    return rng.uniform(), rng2.normal(), local.random()

@@ -1,0 +1,13 @@
+"""Fixture: ordered iteration feeding the schedule, and unordered
+iteration that never schedules — both clean."""
+
+
+def kick_all(env, waiters, by_rank):
+    for evt in sorted({w.event for w in waiters}, key=lambda e: e.seq):
+        env.schedule(evt)
+    for rank in sorted(by_rank.keys()):
+        env.schedule(by_rank[rank])
+    total = 0
+    for item in set(waiters):  # no schedule sink in this loop body
+        total += item.size
+    return total

@@ -1,0 +1,14 @@
+"""Fixture: specific handlers, and broad handlers that re-raise — clean."""
+
+
+def run_all(jobs, log):
+    for job in jobs:
+        try:
+            job.start()
+        except ValueError:
+            log.append("bad job spec")
+    try:
+        jobs[0].join()
+    except Exception:
+        log.append("cleaning up")
+        raise

@@ -1,0 +1,14 @@
+"""Fixture: a file-wide suppression silences UNR004 everywhere here,
+but leaves UNR001 live."""
+
+# unrlint: disable-file=UNR004
+
+import heapq
+from heapq import heappop
+import random
+
+
+def draw(heap):
+    heapq.heapify(heap)
+    heappop(heap)
+    return random.random()

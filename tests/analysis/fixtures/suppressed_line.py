@@ -1,0 +1,12 @@
+"""Fixture: line-level suppressions silence exactly the named rule."""
+
+import heapq  # unrlint: disable=UNR004
+import random
+
+
+def draw():
+    a = random.random()  # unrlint: disable=UNR001
+    b = random.random()  # unrlint: disable
+    c = random.random()  # unrlint: disable=UNR004  (wrong id: still flagged)
+    heapq.heapify([])
+    return a, b, c

@@ -1,0 +1,13 @@
+"""Fixture: wall-clock reads OUTSIDE the deterministic scopes — clean.
+
+UNR002 only applies under sim/, netsim/ and core/ path components;
+benchmark harness code may legitimately time itself.
+"""
+
+import time
+
+
+def wall_elapsed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

@@ -1,0 +1,123 @@
+"""unrlint: per-rule trigger / no-trigger / suppression tests, plus the
+meta-test that the shipped source tree is clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, RULES, format_findings, lint_file, lint_paths, lint_source
+from repro.analysis.unrlint import PARSE_ERROR, iter_python_files
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+def lint_fixture(name):
+    return lint_file(str(FIXTURES / name))
+
+
+# -- per-rule: must trigger ---------------------------------------------------
+
+def test_unr001_flags_every_unseeded_source():
+    findings = lint_fixture("bad_unr001.py")
+    assert rules_of(findings) == ["UNR001"]
+    assert len(findings) == 5  # random x2, np.random.rand, default_rng x2
+
+
+def test_unr002_flags_wallclock_in_scope():
+    findings = lint_fixture("core/bad_unr002.py")
+    assert rules_of(findings) == ["UNR002"]
+    assert len(findings) == 4  # time, perf_counter, monotonic_ns, datetime.now
+
+
+def test_unr003_flags_unordered_iteration_feeding_schedule():
+    findings = lint_fixture("bad_unr003.py")
+    assert rules_of(findings) == ["UNR003"]
+    assert len(findings) == 3  # set comp, dict .keys() view, set(...)
+
+
+def test_unr004_flags_heapq_outside_kernel():
+    findings = lint_fixture("bad_unr004.py")
+    assert rules_of(findings) == ["UNR004"]
+    assert len(findings) == 2  # import heapq, from heapq import heappush
+
+
+def test_unr005_flags_broad_handlers():
+    findings = lint_fixture("bad_unr005.py")
+    assert rules_of(findings) == ["UNR005"]
+    assert len(findings) == 3  # except Exception, bare except, tuple form
+
+
+# -- per-rule: must NOT trigger ----------------------------------------------
+
+@pytest.mark.parametrize(
+    "fixture",
+    [
+        "ok_unr001.py",
+        "core/ok_unr002.py",
+        "wallclock_out_of_scope.py",
+        "ok_unr003.py",
+        "sim/core.py",  # heapq allowed in the kernel path
+        "ok_unr005.py",
+    ],
+)
+def test_clean_fixture(fixture):
+    assert lint_fixture(fixture) == []
+
+
+# -- suppressions -------------------------------------------------------------
+
+def test_line_suppression_silences_named_rule_only():
+    findings = lint_fixture("suppressed_line.py")
+    # heapq import and the first two draws are suppressed; the draw
+    # carrying the wrong rule id stays flagged.
+    assert [f.rule for f in findings] == ["UNR001"]
+    assert "c = random.random" in (FIXTURES / "suppressed_line.py").read_text().splitlines()[
+        findings[0].line - 1
+    ]
+
+
+def test_file_suppression_is_rule_scoped():
+    findings = lint_fixture("suppressed_file.py")
+    assert rules_of(findings) == ["UNR001"]  # UNR004 silenced file-wide
+
+
+# -- mechanics ----------------------------------------------------------------
+
+def test_findings_carry_location_and_hint():
+    findings = lint_fixture("bad_unr004.py")
+    f = findings[0]
+    assert f.path.endswith("bad_unr004.py")
+    assert f.line > 0
+    assert f.hint == RULES["UNR004"].hint
+    text = format_findings(findings)
+    assert f"{f.path}:{f.line}:{f.col}: UNR004" in text
+    assert "unrlint: 2 finding(s) (UNR004 x2)" in text
+
+
+def test_select_restricts_rules():
+    cfg = LintConfig(select=frozenset({"UNR001"}))
+    assert lint_file(str(FIXTURES / "bad_unr004.py"), config=cfg) == []
+    assert rules_of(lint_file(str(FIXTURES / "bad_unr001.py"), config=cfg)) == ["UNR001"]
+
+
+def test_syntax_error_reported_as_parse_error():
+    findings = lint_source("def broken(:\n", path="broken.py")
+    assert [f.rule for f in findings] == [PARSE_ERROR.id]
+
+
+def test_iter_python_files_expands_directories():
+    files = iter_python_files([str(FIXTURES)])
+    assert any(f.endswith("bad_unr001.py") for f in files)
+    assert all(f.endswith(".py") for f in files)
+
+
+# -- the meta-test: the shipped tree lints clean ------------------------------
+
+def test_src_repro_is_unrlint_clean():
+    findings = lint_paths([str(REPO_ROOT / "src" / "repro")])
+    assert findings == [], "\n" + format_findings(findings)

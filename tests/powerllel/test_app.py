@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.core import PollingConfig, Unr
-from repro.mpi import MpiConfig, MpiWorld
+from repro.mpi import MpiConfig
 from repro.netsim import Cluster, ClusterSpec, FabricSpec, NicSpec, NodeSpec
 from repro.powerllel import (
     PowerLLELConfig,

@@ -1,7 +1,6 @@
 """Tests for the finite-difference kernels and the serial reference."""
 
 import numpy as np
-import pytest
 
 from repro.powerllel.numerics import (
     SerialReference,
@@ -15,7 +14,6 @@ from repro.powerllel.numerics import (
     rhs_forcing,
     z_tridiag_coeffs,
 )
-from repro.powerllel.tridiag import thomas
 
 
 def test_alloc_and_interior_shapes():

@@ -1,8 +1,12 @@
 """Tests for the command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+FIXTURES = Path(__file__).resolve().parent / "analysis" / "fixtures"
 
 
 def test_tables(capsys):
@@ -51,6 +55,37 @@ def test_scaling(capsys):
     out = capsys.readouterr().out
     assert "Figure 7 (th-2a)" in out
     assert "efficiency" in out
+
+
+def test_lint_clean_tree_exits_zero(capsys):
+    assert main(["lint"]) == 0  # defaults to src/repro
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_bad_fixture_exits_nonzero(capsys):
+    rc = main(["lint", str(FIXTURES / "bad_unr001.py")])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "UNR001" in out
+    assert "bad_unr001.py:" in out
+    assert "hint:" in out
+
+
+def test_lint_select_and_list_rules(capsys):
+    assert main(["lint", "--select", "UNR002", str(FIXTURES / "bad_unr001.py")]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("UNR001", "UNR002", "UNR003", "UNR004", "UNR005"):
+        assert rule_id in out
+    assert main(["lint", "--select", "NOPE42"]) == 2
+
+
+def test_check_reports_ok(capsys):
+    assert main(["check", "--size", "4096", "--iters", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "IDENTICAL" in out
+    assert "verdict       OK" in out
 
 
 def test_parser_requires_command():

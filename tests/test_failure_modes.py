@@ -8,7 +8,6 @@ double resets, and determinism of full application runs.
 import warnings
 
 import numpy as np
-import pytest
 
 from repro.core import PollingConfig, Unr, UnrSyncWarning
 from repro.netsim import Cluster, ClusterSpec, CompletionRecord, FabricSpec, NicSpec, NodeSpec
