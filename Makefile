@@ -5,6 +5,7 @@
 #   make test-all    - the full suite including the fault/stress soaks
 #   make test-slow   - only the slow soaks
 #   make demo-faults - the fault-injection acceptance demo
+#   make trace       - observed trace demo: Perfetto JSON + bench record
 #   make lint        - unrlint determinism rules (+ ruff when installed)
 #   make typecheck   - mypy strict-lite gate (skipped when not installed)
 #   make check       - lint + typecheck + the UnrSanitizer acceptance run
@@ -13,7 +14,7 @@ PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 REPRO   = PYTHONPATH=src $(PYTHON) -m repro
 
-.PHONY: test test-fast test-all test-slow demo-faults lint typecheck check
+.PHONY: test test-fast test-all test-slow demo-faults trace lint typecheck check
 
 test: test-fast
 
@@ -28,6 +29,9 @@ test-slow:
 
 demo-faults:
 	PYTHONPATH=src $(PYTHON) -m repro faults
+
+trace:
+	$(REPRO) trace stream --perfetto trace_obs.json --bench BENCH_obs.json
 
 # ruff/mypy are optional locally (the container may not ship them); the
 # unrlint and sanitizer gates always run.  CI installs the full set.

@@ -15,6 +15,8 @@ Package map (DESIGN.md has the full inventory):
   pressure-Poisson CFD pipeline in MPI and UNR backends.
 * :mod:`repro.platforms` — the four Table III systems, calibrated.
 * :mod:`repro.bench` — drivers regenerating every table and figure.
+* :mod:`repro.obs` — observability: event/span/metric recorder over
+  simulated time, Perfetto export, bench records (docs/observability.md).
 """
 
 from .core import (
@@ -29,6 +31,7 @@ from .core import (
     UnrSyncWarning,
 )
 from .netsim import Cluster, ClusterSpec, FabricSpec, NicSpec, NodeSpec
+from .obs import Recorder
 from .platforms import PLATFORMS, get_platform, make_job
 from .runtime import Job, RankContext, run_job
 from .sim import Environment
@@ -48,6 +51,7 @@ __all__ = [
     "PLATFORMS",
     "PollingConfig",
     "RankContext",
+    "Recorder",
     "RmaPlan",
     "Signal",
     "Unr",

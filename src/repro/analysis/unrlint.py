@@ -20,6 +20,9 @@ UNR004  direct ``heapq`` use outside ``sim/core.py`` — bypasses the
         kernel's ``(time, phase, seq)`` tie-break
 UNR005  ``except Exception`` / bare ``except`` that can swallow
         ``UnrTimeoutError`` (unless the handler re-raises)
+UNR006  wall-clock sources inside the observability layer (``obs``) —
+        traces must be stamped with ``env.now`` so an armed run stays
+        fingerprint-identical to a disarmed one
 ======= ==============================================================
 
 Suppression: append ``# unrlint: disable=UNR003`` (comma-separated ids,
@@ -91,6 +94,12 @@ RULES: Dict[str, Rule] = {
             "catch the specific UNR/simulation errors you expect, or re-raise "
             "inside the handler",
         ),
+        Rule(
+            "UNR006",
+            "wall-clock time source inside the observability layer",
+            "stamp traces with env.now (simulated time); a wall-clock read "
+            "makes the exported trace differ between otherwise identical runs",
+        ),
     )
 }
 
@@ -123,12 +132,15 @@ class LintConfig:
 
     ``select`` limits checking to the given rule ids (``None`` = all).
     ``wallclock_scopes`` are the path components in which UNR002
-    applies.  ``heapq_allowed_suffixes`` are ``/``-normalised path
-    suffixes where UNR004 is permitted (the kernel itself).
+    applies; ``obs_scopes`` the components in which the same wall-clock
+    patterns report as UNR006 instead.  ``heapq_allowed_suffixes`` are
+    ``/``-normalised path suffixes where UNR004 is permitted (the
+    kernel itself).
     """
 
     select: Optional[FrozenSet[str]] = None
     wallclock_scopes: Tuple[str, ...] = ("sim", "netsim", "core")
+    obs_scopes: Tuple[str, ...] = ("obs",)
     heapq_allowed_suffixes: Tuple[str, ...] = ("sim/core.py",)
 
     def enabled(self, rule_id: str) -> bool:
@@ -208,10 +220,11 @@ def _attr_chain(node: ast.AST) -> List[str]:
 
 class _Visitor(ast.NodeVisitor):
     def __init__(self, path: str, config: LintConfig, in_wallclock_scope: bool,
-                 heapq_allowed: bool) -> None:
+                 heapq_allowed: bool, in_obs_scope: bool = False) -> None:
         self.path = path
         self.config = config
         self.in_wallclock_scope = in_wallclock_scope
+        self.in_obs_scope = in_obs_scope
         self.heapq_allowed = heapq_allowed
         self.findings: List[Finding] = []
         # alias -> canonical module ("random", "numpy", "numpy.random",
@@ -286,7 +299,7 @@ class _Visitor(ast.NodeVisitor):
         resolved = self._canonical(chain)
         if resolved is not None:
             self._check_rng_call(node, resolved)
-            if self.in_wallclock_scope:
+            if self.in_wallclock_scope or self.in_obs_scope:
                 self._check_wallclock_call(node, resolved)
         self.generic_visit(node)
 
@@ -332,17 +345,21 @@ class _Visitor(ast.NodeVisitor):
     def _check_wallclock_call(self, node: ast.Call, resolved: str) -> None:
         parts = resolved.split(".")
         root = parts[0]
+        rule_id = "UNR006" if self.in_obs_scope else "UNR002"
+        where = (
+            "the observability layer" if rule_id == "UNR006"
+            else "a deterministic scope"
+        )
         if root == "time" and parts[-1] in _WALLCLOCK_TIME_FUNCS:
             self._flag(
-                "UNR002", node,
-                f"time.{parts[-1]}() reads the wall clock inside a "
-                "deterministic scope",
+                rule_id, node,
+                f"time.{parts[-1]}() reads the wall clock inside {where}",
             )
         elif root == "datetime" and parts[-1] in _WALLCLOCK_DT_FUNCS:
             self._flag(
-                "UNR002", node,
+                rule_id, node,
                 f"datetime {'.'.join(parts[1:])}() reads the wall clock "
-                "inside a deterministic scope",
+                f"inside {where}",
             )
 
     # -- UNR003 --------------------------------------------------------------
@@ -421,6 +438,11 @@ def _in_wallclock_scope(path: str, config: LintConfig) -> bool:
     return any(part in config.wallclock_scopes for part in parts)
 
 
+def _in_obs_scope(path: str, config: LintConfig) -> bool:
+    parts = Path(_norm(path)).parts
+    return any(part in config.obs_scopes for part in parts)
+
+
 def _heapq_allowed(path: str, config: LintConfig) -> bool:
     norm = _norm(path)
     return any(norm.endswith(suffix) for suffix in config.heapq_allowed_suffixes)
@@ -451,6 +473,7 @@ def lint_source(
         config,
         in_wallclock_scope=_in_wallclock_scope(path, config),
         heapq_allowed=_heapq_allowed(path, config),
+        in_obs_scope=_in_obs_scope(path, config),
     )
     visitor.visit(tree)
     per_line, per_file = _parse_suppressions(source)

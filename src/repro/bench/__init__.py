@@ -12,12 +12,14 @@ from .powerllel_bench import (
     powerllel_point,
 )
 from .report import format_series, format_size, format_table
+from .tracedemo import TRACE_DEMOS, trace_demo
 
 __all__ = [
     "DEFAULT_FAULTS",
     "DEFAULT_SIZES",
     "FIG6_GRIDS",
     "FIG7_SERIES",
+    "TRACE_DEMOS",
     "aggregation_sweep",
     "fault_demo",
     "fig6_platform",
@@ -31,5 +33,6 @@ __all__ = [
     "mpi_rma_pingpong",
     "pingpong_with_calc",
     "powerllel_point",
+    "trace_demo",
     "unr_pingpong",
 ]

@@ -79,12 +79,13 @@ def _one_run(
     size: int,
     iters: int,
     seed: int,
+    observe: bool = False,
 ) -> Dict:
     plat = get_platform(platform)
     job = make_job(platform, n_nodes, seed=seed)
     injector = FaultInjector.attach(job.cluster, faults)
     trace = MessageTrace.attach(job.cluster)  # outermost: sees post-fault times
-    unr = Unr(job, plat.channel, reliability=True)
+    unr = Unr(job, plat.channel, reliability=True, observe=observe)
     result = _producer_consumer(unr, job, size=size, iters=iters)
     result.update(
         fingerprint=trace.fingerprint(),
@@ -105,13 +106,14 @@ def fault_demo(
     iters: int = 8,
     seed: int = 2024,
     fault_seed: Optional[int] = None,
+    observe: bool = False,
 ) -> Dict:
     """Run the demo twice with one schedule; returns both runs plus the
     ``identical`` (replay) and ``correct`` (delivery) verdicts."""
     spec = FaultSpec.parse(faults, seed=fault_seed)
     runs = [
         _one_run(spec, platform=platform, n_nodes=n_nodes,
-                 size=size, iters=iters, seed=seed)
+                 size=size, iters=iters, seed=seed, observe=observe)
         for _ in range(2)
     ]
     return {

@@ -15,12 +15,13 @@ direction reverses — and we report half the round-trip time:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core import Unr
 from ..mpi import MpiWorld, Win
+from ..obs import Recorder
 from ..platforms import get_platform, make_job
 from ..runtime import run_job
 
@@ -29,11 +30,27 @@ __all__ = ["unr_pingpong", "mpi_rma_pingpong", "latency_table", "DEFAULT_SIZES"]
 DEFAULT_SIZES = [8, 64, 512, 4096, 32768, 262144, 1048576]
 
 
-def unr_pingpong(platform: str, size: int, iters: int = 20, *, offload: bool = False) -> float:
-    """Half round-trip latency (seconds) of a UNR notified ping-pong."""
+def unr_pingpong(
+    platform: str,
+    size: int,
+    iters: int = 20,
+    *,
+    offload: bool = False,
+    observe: bool = False,
+    out: Optional[Dict] = None,
+) -> float:
+    """Half round-trip latency (seconds) of a UNR notified ping-pong.
+
+    With ``observe=True`` (or an ``out`` dict to receive the recorder
+    and job) the run is traced through :mod:`repro.obs` — passively, so
+    the reported latency is unchanged."""
     plat = get_platform(platform)
     job = make_job(platform, 2, offload=offload)
-    unr = Unr(job, plat.channel)
+    recorder = Recorder.attach(job.cluster) if (observe or out is not None) else None
+    unr = Unr(job, plat.channel, observe=recorder)
+    if out is not None:
+        out["recorder"] = recorder
+        out["job"] = job
     results = {}
 
     def program(ctx):

@@ -54,12 +54,16 @@ def powerllel_point(
     seed: int = 0xC0FFEE,
     faults: Optional[str] = None,
     fault_seed: Optional[int] = None,
+    observe: bool = False,
 ) -> Dict:
     """One PowerLLEL run on ``platform``; returns time + phase breakdown.
 
     ``faults`` is an optional :meth:`~repro.netsim.faults.FaultSpec.parse`
     string; when set, the cluster's NICs are wrapped in a seeded fault
     injector and the UNR backend arms its reliability layer.
+    ``observe=True`` traces the run through :mod:`repro.obs` (passively;
+    the reported times are unchanged) and adds a ``"recorder"`` key to
+    the result.
     """
     plat = get_platform(platform)
     job = make_job(platform, nodes, seed=seed)
@@ -69,22 +73,35 @@ def powerllel_point(
 
         fault_spec = FaultSpec.parse(faults, seed=fault_seed)
         FaultInjector.attach(job.cluster, fault_spec)
+    rec = None
+    if observe:
+        from ..obs import Recorder
+
+        # Attached before the run so the MPI substrate and collectives
+        # see cluster.obs from the first message on.
+        rec = Recorder.attach(job.cluster)
     cfg = PowerLLELConfig(
         nx=nx, ny=ny, nz=nz, py=py, pz=pz, steps=steps, mode="model",
         pipeline_slabs=pipeline_slabs, threads=threads, lengths=(1.0, 1.0, 8.0),
     )
     if backend == "mpi":
-        return run_powerllel(job, cfg, backend="mpi", mpi_config=plat.mpi)
+        res = run_powerllel(job, cfg, backend="mpi", mpi_config=plat.mpi)
+        if rec is not None:
+            res["recorder"] = rec
+        return res
     unr_channel = plat.channel
     unr_kwargs = {}
     if fault_spec is not None and not fault_spec.is_noop:
         unr_kwargs["reliability"] = True
     if fallback:
         unr = Unr(job, MpiFallbackChannel(job, plat.fallback), polling=polling,
-                  **unr_kwargs)
+                  observe=rec, **unr_kwargs)
     else:
-        unr = Unr(job, unr_channel, polling=polling, **unr_kwargs)
-    return run_powerllel(job, cfg, backend="unr", unr=unr)
+        unr = Unr(job, unr_channel, polling=polling, observe=rec, **unr_kwargs)
+    res = run_powerllel(job, cfg, backend="unr", unr=unr)
+    if rec is not None:
+        res["recorder"] = rec
+    return res
 
 
 def fig6_platform(platform: str, steps: int = 2) -> Dict[str, Dict]:

@@ -9,6 +9,7 @@
     python -m repro fig6     --platform th-2a   # full Figure 6 bars
     python -m repro scaling  --platform th-2a   # Figure 7 series
     python -m repro faults                      # fault-injection demo
+    python -m repro trace stream                # observed demo + Perfetto JSON
     python -m repro lint src/repro              # unrlint determinism rules
     python -m repro check                       # UnrSanitizer runtime checks
 """
@@ -53,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--platform", default="th-xy")
     p.add_argument("--sizes", type=_sizes, default=[8, 512, 4096, 65536, 1048576])
     p.add_argument("--iters", type=int, default=10)
+    p.add_argument("--trace", action="store_true",
+                   help="also run one observed UNR ping-pong (largest size) "
+                        "and export its Perfetto trace")
+    p.add_argument("--perfetto", default="trace_latency.json", metavar="PATH",
+                   help="Perfetto output path for --trace")
 
     p = sub.add_parser("multinic", help="Figure 5: multi-NIC aggregation sweeps")
     p.add_argument("--platform", default="th-xy")
@@ -72,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault schedule, e.g. 'drop=0.3,reorder=0.2,rail_fail@t=5.0' "
                         "(arms the UNR reliability layer)")
     p.add_argument("--fault-seed", type=int, default=None)
+    p.add_argument("--trace", action="store_true",
+                   help="observe the run and export its Perfetto trace")
+    p.add_argument("--perfetto", default="trace_powerllel.json", metavar="PATH",
+                   help="Perfetto output path for --trace")
 
     p = sub.add_parser(
         "faults",
@@ -97,8 +107,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-points", type=int, default=None)
 
     p = sub.add_parser(
+        "trace",
+        help="repro.obs demo: run an observed workload, print its timeline "
+             "and critical paths, export Perfetto JSON + BENCH_obs.json",
+    )
+    p.add_argument("demo", nargs="?", choices=["stream", "latency", "powerllel"],
+                   default="stream")
+    p.add_argument("--platform", default="th-xy")
+    p.add_argument("--size", type=int, default=65536)
+    p.add_argument("--iters", type=int, default=6)
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument("--faults", type=_fault_spec, default=None, metavar="SPEC",
+                   help="fault schedule for the stream demo "
+                        "(arms the UNR reliability layer)")
+    p.add_argument("--fault-seed", type=int, default=None)
+    p.add_argument("--perfetto", default="trace_obs.json", metavar="PATH",
+                   help="Perfetto trace_event JSON output (load at ui.perfetto.dev)")
+    p.add_argument("--bench", default="BENCH_obs.json", metavar="PATH",
+                   help="machine-readable bench record output")
+    p.add_argument("--no-bench", action="store_true",
+                   help="skip writing the bench record")
+    p.add_argument("--limit", type=int, default=30,
+                   help="max rows in the printed timeline")
+
+    p = sub.add_parser(
         "lint",
-        help="unrlint: static determinism rules UNR001-UNR005 over Python sources",
+        help="unrlint: static determinism rules UNR001-UNR006 over Python sources",
     )
     p.add_argument("paths", nargs="*", default=["src/repro"],
                    help="files or directories to lint (default: src/repro)")
@@ -173,6 +207,20 @@ def cmd_latency(args) -> int:
     ]
     print(f"Figure 4 ({args.platform}): half round-trip latency (us)")
     print(format_table(["size", "UNR", "fence", "PSCW", "lock"], rows))
+    if args.trace:
+        from .bench import unr_pingpong
+        from .obs import write_perfetto
+
+        out = {}
+        size = args.sizes[-1]
+        unr_pingpong(args.platform, size, args.iters, out=out)
+        rec = out["recorder"]
+        snap = rec.snapshot()
+        write_perfetto(rec, args.perfetto)
+        print(f"trace: {format_size(size)} ping-pong — "
+              f"{snap['n_transfers']} transfers, {snap['n_spans']} spans, "
+              f"{int(snap['counters']['sim.events'])} sim events "
+              f"-> {args.perfetto}")
     return 0
 
 
@@ -198,6 +246,7 @@ def cmd_powerllel(args) -> int:
         nodes=args.nodes, py=args.py, pz=args.pz,
         nx=nx, ny=ny, nz=nz, steps=args.steps,
         faults=args.faults, fault_seed=args.fault_seed,
+        observe=args.trace,
     )
     p = res["phases"]
     print(f"PowerLLEL [{args.backend}{'+fallback' if args.fallback else ''}"
@@ -206,6 +255,15 @@ def cmd_powerllel(args) -> int:
     print(f"  total {res['time']*1e3:.3f} ms  "
           f"(vel {p['vel_update']*1e3:.3f}, ppe {p['ppe']*1e3:.3f}, "
           f"other {p['other']*1e3:.3f})")
+    if args.trace:
+        from .obs import write_perfetto
+
+        rec = res["recorder"]
+        snap = rec.snapshot()
+        write_perfetto(rec, args.perfetto)
+        print(f"  trace {snap['n_transfers']} transfers, {snap['n_spans']} spans, "
+              f"{int(snap['counters']['sim.events'])} sim events "
+              f"-> {args.perfetto}")
     return 0
 
 
@@ -242,6 +300,73 @@ def cmd_faults(args) -> int:
     ok = out["correct"] and out["identical"]
     print("  verdict      " + ("OK" if ok else "FAILED"))
     return 0 if ok else 1
+
+
+def cmd_trace(args) -> int:
+    from .bench import trace_demo
+    from .obs import (
+        bench_record,
+        text_timeline,
+        validate_bench,
+        validate_trace_file,
+        write_bench,
+        write_perfetto,
+    )
+
+    out = trace_demo(
+        args.demo, platform=args.platform, size=args.size, iters=args.iters,
+        seed=args.seed, faults=args.faults, fault_seed=args.fault_seed,
+    )
+    rec = out["recorder"]
+    snap = rec.snapshot()
+    print(f"Trace demo '{args.demo}' on {args.platform}: "
+          f"t_end={snap['t_end'] * 1e6:.2f} us, "
+          f"{snap['n_transfers']} transfers, {snap['n_spans']} spans, "
+          f"{snap['n_events']} markers, "
+          f"{int(snap['counters']['sim.events'])} sim events "
+          f"(heap depth max {int(snap['gauges']['sim.heap_depth_max'])})")
+
+    print("\ntimeline (simulated time, us):")
+    print(text_timeline(rec, limit=args.limit))
+
+    interesting = ("core.sig_wait_us", "net.frag_latency_us",
+                   "core.poll_dispatch_delay_us")
+    shown = [k for k in interesting if k in snap["histograms"]]
+    if shown:
+        print("\nlatency histograms:")
+        for key in shown:
+            h = snap["histograms"][key]
+            print(f"  {key:28s} n={h['count']:<5d} "
+                  f"mean={h['mean']:.2f} min={h['min']:.2f} max={h['max']:.2f}")
+
+    print("\nper-rank critical paths:")
+    for track in rec.spans.tracks():
+        path = rec.spans.critical_path(track)
+        if not path:
+            continue
+        chain = " > ".join(f"{s.name}({s.duration * 1e6:.2f}us)" for s in path)
+        print(f"  {track}: {chain}")
+
+    write_perfetto(rec, args.perfetto)
+    try:
+        validate_trace_file(args.perfetto)
+    except ValueError as exc:
+        print(f"\nperfetto: {args.perfetto} FAILED schema validation: {exc}")
+        return 1
+    print(f"\nperfetto: {args.perfetto} (load at https://ui.perfetto.dev)")
+
+    if not args.no_bench:
+        record = bench_record(
+            rec, name=out["name"], platform=args.platform, params=out["params"],
+        )
+        errors = validate_bench(record)
+        if errors:
+            print(f"bench: record FAILED validation: {'; '.join(errors)}")
+            return 1
+        write_bench(record, args.bench)
+        print(f"bench: {args.bench} "
+              f"(fingerprint {record['transfer_fingerprint'][:16]}…)")
+    return 0
 
 
 def cmd_fig6(args) -> int:
@@ -335,6 +460,7 @@ _COMMANDS = {
     "multinic": cmd_multinic,
     "powerllel": cmd_powerllel,
     "faults": cmd_faults,
+    "trace": cmd_trace,
     "fig6": cmd_fig6,
     "scaling": cmd_scaling,
     "lint": cmd_lint,

@@ -32,7 +32,8 @@ import numpy as np
 
 from ..analysis.sanitizer import SanitizerReport, UnrSanitizer
 from ..interconnect import MpiFallbackChannel, RmaChannel, make_channel
-from ..netsim import CompletionRecord
+from ..netsim import US, CompletionRecord
+from ..obs import Recorder
 from ..runtime import Job
 from ..sim import FilterStore
 from .errors import (
@@ -101,6 +102,16 @@ class Unr:
         variable.  The checks are passive — an armed run is
         trace-identical to a disarmed one; call :meth:`finalize` at the
         end of the job to collect the report.
+    observe:
+        Arm the :class:`~repro.obs.Recorder` observability layer —
+        plan/collective spans, signal-wait latency histograms, poll-loop
+        and retransmit counters, NIC transfer records, Perfetto export.
+        ``True`` attaches a recorder to the job's cluster (or reuses the
+        one already attached, e.g. by ``MessageTrace.attach``); a
+        :class:`~repro.obs.Recorder` instance attaches that recorder;
+        ``None`` (the default) reads the ``UNR_OBSERVE`` environment
+        variable.  Like the sanitizer, observation is passive: an armed
+        run is trace-fingerprint-identical to a disarmed one.
     """
 
     def __init__(
@@ -117,6 +128,7 @@ class Unr:
         fallback_config: Any = None,
         reliability: Union[ReliabilityConfig, bool, None] = None,
         sanitize: Optional[bool] = None,
+        observe: Union[Recorder, bool, None] = None,
     ) -> None:
         self.job = job
         self.env = job.env
@@ -178,12 +190,29 @@ class Unr:
             # Route the interconnect's width chokepoint into the report.
             self.channel.width_observer = self.sanitizer.on_width_violation
 
+        if observe is None:
+            observe = os.environ.get("UNR_OBSERVE", "").lower() in (
+                "1", "true", "yes", "on",
+            )
+        self.obs: Optional[Recorder] = None
+        if observe:
+            self.obs = Recorder.attach(
+                job.cluster, observe if isinstance(observe, Recorder) else None
+            )
+            stats = self.stats
+            self.obs.add_collector(
+                lambda: {f"core.{k}": float(stats[k]) for k in sorted(stats)}
+            )
+
         self.polling_config = self._resolve_polling(polling)
         self.engines: List[PollingEngine] = []
         if self.polling_config.mode != "none":
             for node in job.cluster.nodes:
                 self.engines.append(
-                    PollingEngine(self.env, node, self.polling_config, self._handle_record)
+                    PollingEngine(
+                        self.env, node, self.polling_config, self._handle_record,
+                        obs=self.obs,
+                    )
                 )
 
     # ------------------------------------------------------------------
@@ -222,16 +251,19 @@ class Unr:
             self._sid_next[node] += 1
         sig = Signal(self.env, sid, num_event, n_bits=self.n_bits, owner_rank=rank)
         self._sig_tables[node][sid] = sig
-        if sid >= self.sid_capacity and not self._degrade_warned:
-            self._degrade_warned = True
-            warnings.warn(
-                f"signal table exceeded the {self.sid_capacity} ids addressable "
-                f"with {self.put_remote_policy.p_bits} pointer bits at level "
-                f"{self.put_remote_policy.level}; overflowing signals use the "
-                "Level-0 ordered-message path",
-                UnrDegradeWarning,
-                stacklevel=3,
-            )
+        if sid >= self.sid_capacity:
+            if self.obs is not None:
+                self.obs.count("core.degraded_sids")
+            if not self._degrade_warned:
+                self._degrade_warned = True
+                warnings.warn(
+                    f"signal table exceeded the {self.sid_capacity} ids addressable "
+                    f"with {self.put_remote_policy.p_bits} pointer bits at level "
+                    f"{self.put_remote_policy.level}; overflowing signals use the "
+                    "Level-0 ordered-message path",
+                    UnrDegradeWarning,
+                    stacklevel=3,
+                )
         return sig
 
     def _free_signal(self, sig: Signal) -> None:
@@ -417,7 +449,14 @@ class UnrEndpoint:
         Also checks the event-overflow detect bit: if more than
         ``num_event`` events were received the application sent more
         messages than the receiver armed for."""
-        yield sig.wait_event()
+        obs = self.unr.obs
+        if obs is None:
+            yield sig.wait_event()
+        else:
+            t0 = self.env.now
+            with obs.span(f"rank{self.rank}", "unr.sig_wait", cat="core", sid=sig.sid):
+                yield sig.wait_event()
+            obs.observe("core.sig_wait_us", (self.env.now - t0) / US)
         if sig.overflow_bit:
             self.unr._overflow_error(
                 f"sig_wait(sid={sig.sid}): overflow bit set — more than "
@@ -659,6 +698,8 @@ class UnrEndpoint:
             rail = (preferred + i) % n_rails
             if not (job.nic_of(self.rank, rail).failed
                     or job.nic_of(dst_rank, rail).failed):
+                if i and self.unr.obs is not None:
+                    self.unr.obs.count("reliability.rail_failovers")
                 return rail
         return preferred % n_rails
 
@@ -694,6 +735,11 @@ class UnrEndpoint:
                     break
                 rail = self._live_rail(dst_rank, rail + 1)
                 unr.stats["retransmits"] += 1
+                if unr.obs is not None:
+                    unr.obs.event(
+                        "reliability.retransmit", track=f"rank{self.rank}",
+                        what=what, attempt=attempt + 1, rail=rail, nbytes=nbytes,
+                    )
                 post(rail)
                 t = min(t * rel.backoff_factor, max(rel.max_backoff, base))
             unr.stats["reliability_failures"] += 1
@@ -718,6 +764,10 @@ class UnrEndpoint:
         """Level-0 scheme: an order-preserving message carrying (p, a)."""
         unr = self.unr
         unr.stats["ctrl_msgs"] += 1
+        if unr.obs is not None:
+            unr.obs.event(
+                "unr.ctrl_fallback", track=f"rank{self.rank}", dst=dst_rank, sid=sid
+            )
         dst_nic = self.job.nic_of(dst_rank)
         env = self.env
 

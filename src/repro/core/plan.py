@@ -38,6 +38,7 @@ class RmaPlan:
         self._ops: List[PlannedOp] = []
         self.n_starts = 0
         self.freed = False
+        self._t_build = endpoint.env.now
 
     def __len__(self) -> int:
         return len(self._ops)
@@ -85,6 +86,22 @@ class RmaPlan:
                 f"plan with {len(self._ops)} op(s) started after free()"
             )
         self.n_starts += 1
+        obs = ep.unr.obs
+        track = f"rank{ep.rank}"
+        if obs is not None and self.n_starts == 1:
+            # Build time is only known once the plan first starts; the
+            # span covers record_put/record_get bookkeeping, which plans
+            # exist to keep off the per-iteration critical path.
+            obs.complete_span(
+                track, "unr.plan.build", t0=self._t_build, t1=ep.env.now,
+                cat="core", ops=len(self._ops),
+            )
+        handle = None
+        if obs is not None:
+            handle = obs.span(
+                track, "unr.plan.start", cat="core",
+                ops=len(self._ops), n_starts=self.n_starts,
+            )
         for op in self._ops:
             kwargs = {}
             if op.has_remote_override:
@@ -93,6 +110,8 @@ class RmaPlan:
                 ep.put(op.src, op.dst, **kwargs)
             else:
                 ep.get(op.src, op.dst, **kwargs)
+        if handle is not None:
+            handle.end()
 
     def __repr__(self) -> str:
         return f"<RmaPlan ops={len(self._ops)} starts={self.n_starts}>"

@@ -19,10 +19,13 @@ fallback.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generator
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from ..netsim import CompletionRecord, Node, US
 from ..sim import Environment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Recorder
 
 __all__ = ["PollingConfig", "PollingEngine"]
 
@@ -82,11 +85,14 @@ class PollingEngine:
         node: Node,
         config: PollingConfig,
         handler: Callable[[int, CompletionRecord], None],
+        *,
+        obs: Optional["Recorder"] = None,
     ) -> None:
         self.env = env
         self.node = node
         self.config = config
         self.handler = handler
+        self.obs = obs
         self.n_dispatched = 0
         self.total_delay = 0.0
         if config.mode == "none":
@@ -102,6 +108,8 @@ class PollingEngine:
         delay = self.config.dispatch_delay
         while True:
             record = yield nic.cq.get()
+            if self.obs is not None:
+                self.obs.count("core.poll_sweeps")
             # A stalled CQ (fault injection) holds its records back: the
             # progress engine is wedged until the stall window passes.
             while nic.cq.is_stalled:
@@ -116,5 +124,9 @@ class PollingEngine:
 
     def _apply(self, record: CompletionRecord) -> None:
         self.n_dispatched += 1
-        self.total_delay += self.env.now - record.complete_time
+        delay = self.env.now - record.complete_time
+        self.total_delay += delay
+        if self.obs is not None:
+            self.obs.count("core.poll_dispatches")
+            self.obs.observe("core.poll_dispatch_delay_us", delay / US)
         self.handler(self.node.index, record)

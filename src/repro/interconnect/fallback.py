@@ -90,6 +90,14 @@ class MpiFallbackChannel(RmaChannel):
         src_nic = self.job.nic_of(src_rank, rail)
         dst_nic = self.job.nic_of(dst_rank, rail)
         done = env.event()
+        # Looked up per call: the recorder may attach after channel creation.
+        rec = getattr(self.job.cluster, "obs", None)
+        if rec is not None:
+            rec.count("fallback.puts")
+            rec.count(
+                "fallback.rendezvous" if nbytes > cfg.eager_threshold
+                else "fallback.eager"
+            )
 
         def deliver(data: Any) -> None:
             if on_deliver is not None:
@@ -144,6 +152,9 @@ class MpiFallbackChannel(RmaChannel):
         src_nic = self.job.nic_of(src_rank, rail)
         dst_nic = self.job.nic_of(dst_rank, rail)
         done = env.event()
+        rec = getattr(self.job.cluster, "obs", None)
+        if rec is not None:
+            rec.count("fallback.gets")
 
         def transfer():
             # Request leg (small message, sender overhead).

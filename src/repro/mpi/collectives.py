@@ -12,6 +12,7 @@ first argument; they are also attached to :class:`Comm` as methods.
 
 from __future__ import annotations
 
+from functools import wraps
 from typing import Any, Callable, List, Sequence
 
 import numpy as np
@@ -29,6 +30,30 @@ __all__ = [
 ]
 
 
+def _spanned(fn):
+    """Record one ``mpi.<name>`` span per call when the cluster is
+    observed (:mod:`repro.obs`).  Spans nest — ``allreduce`` shows its
+    ``reduce`` + ``bcast`` phases as children on the rank's track."""
+
+    @wraps(fn)
+    def wrapper(comm, *args, **kwargs):
+        rec = getattr(comm.world.job.cluster, "obs", None)
+        if rec is None:
+            result = yield from fn(comm, *args, **kwargs)
+            return result
+        handle = rec.span(
+            f"rank{comm.me_global}", f"mpi.{fn.__name__}", cat="mpi", size=comm.size
+        )
+        try:
+            result = yield from fn(comm, *args, **kwargs)
+        finally:
+            handle.end()
+        return result
+
+    return wrapper
+
+
+@_spanned
 def barrier(comm: Comm):
     """Dissemination barrier: ceil(log2 P) rounds of token exchange."""
     size, rank = comm.size, comm.rank
@@ -44,6 +69,7 @@ def barrier(comm: Comm):
         round_no += 1
 
 
+@_spanned
 def bcast(comm: Comm, data: Any, root: int = 0):
     """Binomial-tree broadcast; returns the data on every rank."""
     size, rank = comm.size, comm.rank
@@ -66,6 +92,7 @@ def bcast(comm: Comm, data: Any, root: int = 0):
     return data
 
 
+@_spanned
 def allgather(comm: Comm, data: Any) -> Any:
     """Ring allgather; returns the list of every rank's contribution."""
     size, rank = comm.size, comm.rank
@@ -84,11 +111,13 @@ def allgather(comm: Comm, data: Any) -> Any:
     return out
 
 
+@_spanned
 def alltoall(comm: Comm, blocks: Sequence[Any]) -> Any:
     """Alltoall of one block per peer (wrapper over :func:`alltoallv`)."""
     return (yield from alltoallv(comm, list(blocks)))
 
 
+@_spanned
 def alltoallv(comm: Comm, blocks: Sequence[Any]) -> Any:
     """Pairwise-exchange all-to-all; ``blocks[j]`` goes to local rank j.
 
@@ -120,6 +149,7 @@ def alltoallv(comm: Comm, blocks: Sequence[Any]) -> Any:
     return out
 
 
+@_spanned
 def reduce(comm: Comm, value: Any, op: Callable[[Any, Any], Any] = None, root: int = 0):
     """Binomial-tree reduction to ``root`` (returns result there, None elsewhere)."""
     op = op or _add
@@ -140,6 +170,7 @@ def reduce(comm: Comm, value: Any, op: Callable[[Any, Any], Any] = None, root: i
     return acc
 
 
+@_spanned
 def allreduce(comm: Comm, value: Any, op: Callable[[Any, Any], Any] = None):
     """Reduce + broadcast (simple, correct for any op/commutativity)."""
     op = op or _add

@@ -134,9 +134,17 @@ class MpiWorld:
         nbytes = _nbytes(data)
         self.stats["messages"] += 1
         self.stats["bytes"] += nbytes
+        # Looked up per send: the recorder may be attached to the
+        # cluster after this world was built.
+        rec = getattr(self.job.cluster, "obs", None)
+        if rec is not None:
+            rec.count("mpi.messages")
+            rec.count("mpi.bytes", nbytes)
         yield env.timeout(cfg.sw_overhead_us * US)
         if nbytes <= cfg.eager_threshold:
             self.stats["eager"] += 1
+            if rec is not None:
+                rec.count("mpi.eager")
             inj = self._post(
                 src_g, dst_g, nbytes,
                 ("eager", src_g, tag, _snapshot(data), nbytes),
@@ -145,6 +153,8 @@ class MpiWorld:
             done.succeed()
         else:
             self.stats["rendezvous"] += 1
+            if rec is not None:
+                rec.count("mpi.rendezvous")
             msgid = next(self._msgid)
             cts = self.env.event()
             self._cts[msgid] = cts

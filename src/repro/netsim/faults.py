@@ -199,6 +199,13 @@ class FaultInjector:
         self.rng = np.random.default_rng(spec.seed)
         self.stats: Counter = Counter()
         self.failed_rails: Set[tuple] = set()
+        # Registry used by the observability layer's fault collector
+        # (several injectors may be attached to one cluster).
+        injectors = getattr(cluster, "fault_injectors", None)
+        if injectors is None:
+            injectors = []
+            cluster.fault_injectors = injectors
+        injectors.append(self)
         self._schedule_rail_failures()
         self._schedule_cq_stalls()
         for node in cluster.nodes:
@@ -229,6 +236,12 @@ class FaultInjector:
             nic.failed = True
             self.failed_rails.add(nic.global_id)
             self.stats["rail_failures"] += 1
+            obs = getattr(self.cluster, "obs", None)
+            if obs is not None:
+                obs.event(
+                    "fault.rail_fail", track="faults",
+                    node=nic.node.index, rail=nic.index,
+                )
 
     def _schedule_cq_stalls(self) -> None:
         for cs in self.spec.cq_stalls:
@@ -243,9 +256,15 @@ class FaultInjector:
             when = max(cs.time_us * US - self.env.now, 0.0)
             dur = cs.duration_us * US
 
-            def start(_e, cq=cq, dur=dur):
+            def start(_e, cq=cq, dur=dur, node_idx=node_idx, rail=rail % node.n_rails):
                 cq.stall(self.env.now + dur)
                 self.stats["cq_stalls"] += 1
+                obs = getattr(self.cluster, "obs", None)
+                if obs is not None:
+                    obs.event(
+                        "fault.cq_stall", track="faults",
+                        node=node_idx, rail=rail, dur_us=dur / US,
+                    )
 
             evt = self.env.timeout(when)
             evt.callbacks.append(start)

@@ -6,6 +6,13 @@ timing.  Useful for debugging communication schedules (who sent what
 when), asserting traffic invariants in tests, and producing the
 text timelines used in the examples.
 
+Since the ``repro.obs`` layer landed, the transfer log itself lives on
+the cluster's :class:`~repro.obs.Recorder` (``cluster.obs``) and
+``MessageTrace`` is a thin *view* over it: attaching a trace arms the
+recorder (idempotently), so a transfer is recorded exactly once no
+matter how many observers exist, and ``attach`` can be called on an
+already-observed cluster without double-wrapping the NICs.
+
 >>> trace = MessageTrace.attach(cluster)
 >>> ...run...
 >>> trace.summary()["n_messages"]
@@ -14,11 +21,12 @@ text timelines used in the examples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .nic import Nic
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.recorder import Recorder
 
-__all__ = ["TraceRecord", "MessageTrace"]
+__all__ = ["TraceRecord", "MessageTrace", "transfer_fingerprint", "render_timeline"]
 
 
 @dataclass
@@ -46,62 +54,79 @@ class TraceRecord:
         return self.src_node == self.dst_node
 
 
-class MessageTrace:
-    """Records transfers by wrapping the NICs' post methods."""
+def transfer_fingerprint(records: Iterable[TraceRecord]) -> str:
+    """Stable digest of a transfer record sequence, order-sensitive.
 
-    def __init__(self) -> None:
-        self.records: List[TraceRecord] = []
-        self._attached = False
+    Two runs with the same program, seeds, and fault schedule must
+    produce the same fingerprint — the replay guarantee checked by the
+    fault-injection demo and tests, and the armed-vs-disarmed identity
+    checked by the observability tests.
+    """
+    import hashlib
+
+    h = hashlib.sha256()
+    for r in records:
+        h.update(
+            (
+                f"{r.kind}|{r.src_node}.{r.src_rail}>{r.dst_node}.{r.dst_rail}"
+                f"|{r.nbytes}|{r.post_time!r}|{r.deliver_time!r}|{r.ordered}\n"
+            ).encode()
+        )
+    return h.hexdigest()
+
+
+def render_timeline(
+    records: Sequence[TraceRecord], limit: int = 40, min_bytes: int = 0
+) -> str:
+    """Text rendering of the first ``limit`` transfers.
+
+    A record delivered at simulated t=0.0 renders its timestamp, not
+    "pending" — delivery is tested with ``is not None``, never
+    truthiness (0.0 is falsy but perfectly delivered).
+    """
+    lines: List[str] = []
+    for r in records:
+        if r.nbytes < min_bytes:
+            continue
+        end = f"{r.deliver_time * 1e6:9.2f}" if r.deliver_time is not None else "  pending"
+        lines.append(
+            f"{r.post_time * 1e6:9.2f} -> {end} us  "
+            f"{r.kind:3s} n{r.src_node}.{r.src_rail} => "
+            f"n{r.dst_node}.{r.dst_rail}  {r.nbytes}B"
+            f"{'  [ordered]' if r.ordered else ''}"
+        )
+        if len(lines) >= limit:
+            lines.append(f"... ({len(records)} total)")
+            break
+    return "\n".join(lines)
+
+
+class MessageTrace:
+    """Transfer-log view over the cluster's :class:`~repro.obs.Recorder`.
+
+    The public query API (``summary()``, ``fingerprint()``,
+    ``per_pair_bytes()``, ``timeline()``, …) is unchanged from when this
+    class wrapped the NICs itself; the recording now happens once, in
+    :mod:`repro.obs.instrument`.
+    """
+
+    def __init__(self, recorder: "Recorder") -> None:
+        self._recorder = recorder
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        return self._recorder.transfers
+
+    @property
+    def recorder(self) -> "Recorder":
+        return self._recorder
 
     @classmethod
-    def attach(cls, cluster) -> "MessageTrace":
-        """Instrument every NIC of ``cluster``; returns the trace."""
-        trace = cls()
-        for node in cluster.nodes:
-            for nic in node.nics:
-                trace._wrap(nic)
-        trace._attached = True
-        return trace
+    def attach(cls, cluster: Any) -> "MessageTrace":
+        """Arm observation on ``cluster`` (idempotent) and return a view."""
+        from ..obs.recorder import Recorder
 
-    def _wrap(self, nic: Nic) -> None:
-        orig_put = nic.post_put
-        orig_get = nic.post_get
-        records = self.records
-
-        def post_put(dst, nbytes, *, on_deliver=None, ordered=False, **kw):
-            rec = TraceRecord(
-                kind="put",
-                src_node=nic.node.index, src_rail=nic.index,
-                dst_node=dst.node.index, dst_rail=dst.index,
-                nbytes=nbytes, post_time=nic.env.now, ordered=ordered,
-            )
-            records.append(rec)
-
-            def deliver(payload):
-                rec.deliver_time = nic.env.now
-                if on_deliver is not None:
-                    on_deliver(payload)
-
-            return orig_put(dst, nbytes, on_deliver=deliver, ordered=ordered, **kw)
-
-        def post_get(dst, nbytes, *, on_deliver=None, **kw):
-            rec = TraceRecord(
-                kind="get",
-                src_node=nic.node.index, src_rail=nic.index,
-                dst_node=dst.node.index, dst_rail=dst.index,
-                nbytes=nbytes, post_time=nic.env.now,
-            )
-            records.append(rec)
-
-            def deliver(payload):
-                rec.deliver_time = nic.env.now
-                if on_deliver is not None:
-                    on_deliver(payload)
-
-            return orig_get(dst, nbytes, on_deliver=deliver, **kw)
-
-        nic.post_put = post_put  # type: ignore[method-assign]
-        nic.post_get = post_get  # type: ignore[method-assign]
+        return cls(Recorder.attach(cluster))
 
     # ------------------------------------------------------------- queries
     def __len__(self) -> int:
@@ -115,7 +140,7 @@ class MessageTrace:
             lambda r: r.src_node == src_node and r.dst_node == dst_node
         )
 
-    def summary(self) -> Dict:
+    def summary(self) -> Dict[str, Any]:
         """Aggregate statistics over all messages.
 
         Undelivered records (dropped by fault injection, or still in
@@ -123,41 +148,27 @@ class MessageTrace:
         excluded from the latency aggregates but counted explicitly in
         ``n_dropped`` instead of being silently ignored.
         """
-        delivered = [r for r in self.records if r.deliver_time is not None]
-        lat = [r.latency for r in delivered]
+        records = self.records
+        delivered = [r for r in records if r.deliver_time is not None]
+        lat = [r.deliver_time - r.post_time for r in delivered if r.deliver_time is not None]
         return {
-            "n_messages": len(self.records),
+            "n_messages": len(records),
             "n_delivered": len(delivered),
-            "n_dropped": len(self.records) - len(delivered),
-            "total_bytes": sum(r.nbytes for r in self.records),
-            "intra_node_messages": sum(r.intra_node for r in self.records),
+            "n_dropped": len(records) - len(delivered),
+            "total_bytes": sum(r.nbytes for r in records),
+            "intra_node_messages": sum(r.intra_node for r in records),
             "min_latency": min(lat) if lat else None,
             "max_latency": max(lat) if lat else None,
             "mean_latency": (sum(lat) / len(lat)) if lat else None,
         }
 
     def fingerprint(self) -> str:
-        """Stable digest of the full record list, order-sensitive.
+        """Stable digest of the full record list, order-sensitive."""
+        return transfer_fingerprint(self.records)
 
-        Two runs with the same program, seeds, and fault schedule must
-        produce the same fingerprint — the replay guarantee checked by
-        the fault-injection demo and tests.
-        """
-        import hashlib
-
-        h = hashlib.sha256()
-        for r in self.records:
-            h.update(
-                (
-                    f"{r.kind}|{r.src_node}.{r.src_rail}>{r.dst_node}.{r.dst_rail}"
-                    f"|{r.nbytes}|{r.post_time!r}|{r.deliver_time!r}|{r.ordered}\n"
-                ).encode()
-            )
-        return h.hexdigest()
-
-    def per_pair_bytes(self) -> Dict[tuple, int]:
+    def per_pair_bytes(self) -> Dict[Tuple[int, int], int]:
         """Bytes moved per (src_node, dst_node)."""
-        out: Dict[tuple, int] = {}
+        out: Dict[Tuple[int, int], int] = {}
         for r in self.records:
             key = (r.src_node, r.dst_node)
             out[key] = out.get(key, 0) + r.nbytes
@@ -165,18 +176,4 @@ class MessageTrace:
 
     def timeline(self, limit: int = 40, min_bytes: int = 0) -> str:
         """Text rendering of the first ``limit`` transfers."""
-        lines = []
-        for r in self.records:
-            if r.nbytes < min_bytes:
-                continue
-            end = f"{r.deliver_time * 1e6:9.2f}" if r.deliver_time else "  pending"
-            lines.append(
-                f"{r.post_time * 1e6:9.2f} -> {end} us  "
-                f"{r.kind:3s} n{r.src_node}.{r.src_rail} => "
-                f"n{r.dst_node}.{r.dst_rail}  {r.nbytes}B"
-                f"{'  [ordered]' if r.ordered else ''}"
-            )
-            if len(lines) >= limit:
-                lines.append(f"... ({len(self.records)} total)")
-                break
-        return "\n".join(lines)
+        return render_timeline(self.records, limit=limit, min_bytes=min_bytes)

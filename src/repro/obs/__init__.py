@@ -1,0 +1,48 @@
+"""repro.obs — unified tracing, metrics & profiling for the simulation.
+
+One :class:`Recorder` per cluster collects counters, gauges, histograms,
+instant events, spans and NIC transfer records, all timestamped with
+simulated time (``env.now``).  Recording is passive: arming a recorder
+never changes what the simulation does, only what gets written down —
+``MessageTrace.fingerprint()`` is identical with observation on or off.
+
+Arm via ``Unr(..., observe=True)``, the ``UNR_OBSERVE=1`` environment
+variable, ``Recorder.attach(cluster)``, or the ``repro trace`` CLI.
+Export with :func:`write_perfetto` (Chrome/Perfetto ``trace_event``
+JSON), :func:`text_timeline`, or :func:`bench_record` /
+:func:`write_bench` (``BENCH_obs.json``).  See ``docs/observability.md``.
+"""
+
+from .export import (
+    bench_record,
+    perfetto_json,
+    text_timeline,
+    to_trace_events,
+    validate_bench,
+    validate_bench_file,
+    validate_trace,
+    validate_trace_file,
+    write_bench,
+    write_perfetto,
+)
+from .recorder import Histogram, InstantEvent, Recorder
+from .spans import Span, SpanHandle, SpanLog
+
+__all__ = [
+    "Recorder",
+    "Histogram",
+    "InstantEvent",
+    "Span",
+    "SpanHandle",
+    "SpanLog",
+    "to_trace_events",
+    "perfetto_json",
+    "write_perfetto",
+    "text_timeline",
+    "bench_record",
+    "write_bench",
+    "validate_trace",
+    "validate_trace_file",
+    "validate_bench",
+    "validate_bench_file",
+]

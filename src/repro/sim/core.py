@@ -389,6 +389,10 @@ class Environment:
         self._heap: List[tuple] = []
         self._seq = 0
         self._active: Optional[Process] = None
+        #: Optional :class:`repro.obs.Recorder` hook, set by
+        #: ``Recorder.attach``.  Purely passive: it only counts
+        #: dispatched events and tracks heap depth, never schedules.
+        self.obs: Optional[Any] = None
 
     # -- clock ------------------------------------------------------------
     @property
@@ -436,6 +440,9 @@ class Environment:
             raise SimulationError("no scheduled events")
         when, _phase, _seq, event = heapq.heappop(self._heap)
         self._now = when
+        obs = self.obs
+        if obs is not None:
+            obs.on_sim_step(len(self._heap))
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None

@@ -1,0 +1,16 @@
+"""Fixture: wall-clock reads inside the observability layer → UNR006."""
+
+import time
+from datetime import datetime
+
+
+def stamp_event():
+    return time.time()
+
+
+def stamp_span():
+    return time.perf_counter()
+
+
+def stamp_bench():
+    return datetime.now()

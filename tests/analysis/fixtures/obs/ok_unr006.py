@@ -1,0 +1,9 @@
+"""Fixture: the observability layer stamps with simulated time only."""
+
+
+def stamp_event(env):
+    return env.now
+
+
+def stamp_span(env, t0):
+    return env.now - t0

@@ -52,6 +52,13 @@ def test_unr005_flags_broad_handlers():
     assert len(findings) == 3  # except Exception, bare except, tuple form
 
 
+def test_unr006_flags_wallclock_in_obs_scope():
+    findings = lint_fixture("obs/bad_unr006.py")
+    assert rules_of(findings) == ["UNR006"]
+    assert len(findings) == 3  # time.time, perf_counter, datetime.now
+    assert all("observability layer" in f.message for f in findings)
+
+
 # -- per-rule: must NOT trigger ----------------------------------------------
 
 @pytest.mark.parametrize(
@@ -63,6 +70,7 @@ def test_unr005_flags_broad_handlers():
         "ok_unr003.py",
         "sim/core.py",  # heapq allowed in the kernel path
         "ok_unr005.py",
+        "obs/ok_unr006.py",
     ],
 )
 def test_clean_fixture(fixture):

@@ -128,3 +128,21 @@ def test_timeline_rendering():
     assert "65536B" in text
     filtered = trace.timeline(min_bytes=1000)
     assert "64B" not in filtered
+
+
+def test_timeline_delivery_at_t_zero_is_not_pending():
+    """Regression: a record delivered at exactly t=0.0 must render its
+    delivery column, not ``pending`` (falsy-float bug in the renderer)."""
+    from repro.netsim.trace import TraceRecord
+
+    env, cluster = make_cluster()
+    trace = MessageTrace.attach(cluster)
+    trace.records.append(
+        TraceRecord(
+            kind="put", src_node=0, src_rail=0, dst_node=1, dst_rail=0,
+            nbytes=8, post_time=0.0, deliver_time=0.0,
+        )
+    )
+    line = trace.timeline().splitlines()[-1]
+    assert "pending" not in line
+    assert line.count("0.00") >= 2  # both post and deliver columns

@@ -1,0 +1,32 @@
+"""The passive guarantee, end to end: arming observation must not move a
+single simulation event.
+
+The scenario is the PR 1 fault-stress schedule (drops + duplicates +
+reordering + a mid-run rail failure) with the reliability layer armed —
+the most event-sensitive path in the repo.  The MessageTrace fingerprint
+hashes every fragment's post/deliver time, so any scheduling
+perturbation from the recorder would show up here.
+"""
+
+from repro.bench import fault_demo, unr_pingpong
+
+FAULTS = "drop=0.2,dup=0.1,reorder=0.3,rail_fail@t=40:node=1:rail=0"
+
+
+def test_observation_keeps_fingerprint_identical_under_fault_stress():
+    base = fault_demo(FAULTS, size=32768, iters=4)
+    armed = fault_demo(FAULTS, size=32768, iters=4, observe=True)
+    assert base["identical"], "disarmed replay must be bit-identical"
+    assert armed["identical"], "armed replay must be bit-identical"
+    assert base["correct"] and armed["correct"]
+    assert base["runs"][0]["fingerprint"] == armed["runs"][0]["fingerprint"], (
+        "arming the recorder changed the fragment schedule"
+    )
+
+
+def test_observation_keeps_latency_result_identical():
+    plain = unr_pingpong("th-xy", 4096, 5)
+    out = {}
+    observed = unr_pingpong("th-xy", 4096, 5, out=out)
+    assert plain == observed
+    assert len(out["recorder"].transfers) > 0

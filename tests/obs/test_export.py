@@ -1,0 +1,57 @@
+"""Exporter tests: Perfetto schema validity and byte-stable artifacts
+across identical runs."""
+
+import json
+
+from repro.bench import trace_demo
+from repro.obs import (
+    bench_record,
+    perfetto_json,
+    text_timeline,
+    to_trace_events,
+    validate_bench,
+    validate_trace,
+)
+
+
+def run_demo():
+    return trace_demo("stream", iters=3, size=4096)["recorder"]
+
+
+def test_trace_events_validate_and_carry_metadata():
+    doc = {"traceEvents": to_trace_events(run_demo())}
+    assert validate_trace(doc) == []
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert "M" in phases
+    assert "X" in phases
+    meta_names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "M"}
+    assert "process_name" in meta_names
+    assert "thread_name" in meta_names
+
+
+def test_perfetto_json_is_byte_stable_across_identical_runs():
+    a = perfetto_json(run_demo())
+    b = perfetto_json(run_demo())
+    assert a == b
+    doc = json.loads(a)
+    assert validate_trace(doc) == []
+
+
+def test_bench_record_is_byte_stable_and_valid():
+    def record(rec):
+        return bench_record(rec, name="t", platform="th-xy", params={"size": 4096})
+
+    ra = record(run_demo())
+    rb = record(run_demo())
+    assert validate_bench(ra) == []
+    dump = lambda r: json.dumps(r, sort_keys=True, indent=2)  # noqa: E731
+    assert dump(ra) == dump(rb)
+    assert ra["transfer_fingerprint"] == rb["transfer_fingerprint"]
+
+
+def test_text_timeline_merges_transfers_and_markers():
+    rec = run_demo()
+    rec.event("marker.test", track="events", detail=1)
+    text = text_timeline(rec, limit=10)
+    assert "us" in text
+    assert "marker.test" in text

@@ -76,9 +76,27 @@ def test_lint_select_and_list_rules(capsys):
     capsys.readouterr()
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("UNR001", "UNR002", "UNR003", "UNR004", "UNR005"):
+    for rule_id in ("UNR001", "UNR002", "UNR003", "UNR004", "UNR005", "UNR006"):
         assert rule_id in out
     assert main(["lint", "--select", "NOPE42"]) == 2
+
+
+def test_trace_writes_valid_artifacts(tmp_path, capsys):
+    perfetto = tmp_path / "trace.json"
+    bench = tmp_path / "bench.json"
+    assert main([
+        "trace", "stream", "--size", "4096", "--iters", "3",
+        "--perfetto", str(perfetto), "--bench", str(bench),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Trace demo 'stream'" in out
+    assert "critical paths" in out
+    assert perfetto.exists() and bench.exists()
+
+    from repro.obs import validate_bench_file, validate_trace_file
+
+    validate_trace_file(str(perfetto))  # raises ValueError on schema errors
+    validate_bench_file(str(bench))
 
 
 def test_check_reports_ok(capsys):
