@@ -6,6 +6,7 @@
 #   make test-slow   - only the slow soaks
 #   make demo-faults - the fault-injection acceptance demo
 #   make trace       - observed trace demo: Perfetto JSON + bench record
+#   make bench-engine - unified-engine datapath micro-benchmark
 #   make lint        - unrlint determinism rules (+ ruff when installed)
 #   make typecheck   - mypy strict-lite gate (skipped when not installed)
 #   make check       - lint + typecheck + the UnrSanitizer acceptance run
@@ -14,7 +15,7 @@ PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 REPRO   = PYTHONPATH=src $(PYTHON) -m repro
 
-.PHONY: test test-fast test-all test-slow demo-faults trace lint typecheck check
+.PHONY: test test-fast test-all test-slow demo-faults trace bench-engine lint typecheck check
 
 test: test-fast
 
@@ -32,6 +33,11 @@ demo-faults:
 
 trace:
 	$(REPRO) trace stream --perfetto trace_obs.json --bench BENCH_obs.json
+
+# The 24-events/put ceiling is the pre-refactor datapath cost plus slack
+# for one extra bookkeeping event; raising it needs a justification.
+bench-engine:
+	$(REPRO) engine-bench --out BENCH_engine.json --max-events-per-put 24
 
 # ruff/mypy are optional locally (the container may not ship them); the
 # unrlint and sanitizer gates always run.  CI installs the full set.

@@ -6,7 +6,10 @@ static :mod:`~repro.analysis.unrlint` rules cannot see:
 
 * every RMA operation is checked against the registered-memory map —
   out-of-bounds blocks and blocks over unregistered handles are
-  reported *before* the library raises;
+  reported *before* the library raises (the check runs in
+  :meth:`~repro.core.engine.TransferEngine.prepare_put` /
+  ``prepare_get``, and again on every plan replay through
+  :meth:`~repro.core.engine.TransferEngine.post_op`);
 * overlapping registrations (two memory regions sharing bytes) are
   flagged at ``mem_reg`` time;
 * signal payloads that exceed the active interface's custom-bit budget

@@ -23,6 +23,10 @@ UNR005  ``except Exception`` / bare ``except`` that can swallow
 UNR006  wall-clock sources inside the observability layer (``obs``) —
         traces must be stamped with ``env.now`` so an armed run stays
         fingerprint-identical to a disarmed one
+UNR007  CQ draining (``cq.get`` / ``cq.poll`` / ``cq.poll_batch``)
+        outside ``core/engine.py`` — completion records must flow
+        through the unified progress engine; a second drainer steals
+        records and changes dispatch order
 ======= ==============================================================
 
 Suppression: append ``# unrlint: disable=UNR003`` (comma-separated ids,
@@ -100,6 +104,13 @@ RULES: Dict[str, Rule] = {
             "stamp traces with env.now (simulated time); a wall-clock read "
             "makes the exported trace differ between otherwise identical runs",
         ),
+        Rule(
+            "UNR007",
+            "completion-queue draining outside the progress engine",
+            "route completions through ProgressEngine (core/engine.py) — its "
+            "registered handlers are the one CQ consumer; a side drainer "
+            "steals records and perturbs dispatch order",
+        ),
     )
 }
 
@@ -135,13 +146,15 @@ class LintConfig:
     applies; ``obs_scopes`` the components in which the same wall-clock
     patterns report as UNR006 instead.  ``heapq_allowed_suffixes`` are
     ``/``-normalised path suffixes where UNR004 is permitted (the
-    kernel itself).
+    kernel itself); ``cq_allowed_suffixes`` likewise scope UNR007 to
+    the unified progress engine.
     """
 
     select: Optional[FrozenSet[str]] = None
     wallclock_scopes: Tuple[str, ...] = ("sim", "netsim", "core")
     obs_scopes: Tuple[str, ...] = ("obs",)
     heapq_allowed_suffixes: Tuple[str, ...] = ("sim/core.py",)
+    cq_allowed_suffixes: Tuple[str, ...] = ("core/engine.py",)
 
     def enabled(self, rule_id: str) -> bool:
         return self.select is None or rule_id in self.select
@@ -204,6 +217,10 @@ _WALLCLOCK_DT_FUNCS = {"now", "utcnow", "today"}
 
 _SCHEDULE_SINKS = {"schedule", "_schedule", "heappush"}
 
+#: CompletionQueue consumers (``cq.push`` is the producer and always
+#: fine; only *draining* is reserved to the progress engine).
+_CQ_DRAIN_FUNCS = {"get", "poll", "poll_batch"}
+
 
 def _attr_chain(node: ast.AST) -> List[str]:
     """``a.b.c`` → ``["a", "b", "c"]`` (empty list when not a pure chain)."""
@@ -218,14 +235,31 @@ def _attr_chain(node: ast.AST) -> List[str]:
     return []
 
 
+def _attr_tail(node: ast.AST) -> List[str]:
+    """Trailing attribute names, whatever the base expression.
+
+    ``job.nic_of(1).cq.poll`` → ``["cq", "poll"]`` — unlike
+    :func:`_attr_chain` this survives calls/subscripts in the chain, so
+    UNR007 sees drains on computed NIC handles too.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    parts.reverse()
+    return parts
+
+
 class _Visitor(ast.NodeVisitor):
     def __init__(self, path: str, config: LintConfig, in_wallclock_scope: bool,
-                 heapq_allowed: bool, in_obs_scope: bool = False) -> None:
+                 heapq_allowed: bool, in_obs_scope: bool = False,
+                 cq_allowed: bool = False) -> None:
         self.path = path
         self.config = config
         self.in_wallclock_scope = in_wallclock_scope
         self.in_obs_scope = in_obs_scope
         self.heapq_allowed = heapq_allowed
+        self.cq_allowed = cq_allowed
         self.findings: List[Finding] = []
         # alias -> canonical module ("random", "numpy", "numpy.random",
         # "time", "datetime", "heapq")
@@ -293,7 +327,7 @@ class _Visitor(ast.NodeVisitor):
                 "(time, phase, seq) event tie-break",
             )
 
-    # -- UNR001 / UNR002 -----------------------------------------------------
+    # -- UNR001 / UNR002 / UNR007 --------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         chain = _attr_chain(node.func)
         resolved = self._canonical(chain)
@@ -301,7 +335,19 @@ class _Visitor(ast.NodeVisitor):
             self._check_rng_call(node, resolved)
             if self.in_wallclock_scope or self.in_obs_scope:
                 self._check_wallclock_call(node, resolved)
+        self._check_cq_drain(node)
         self.generic_visit(node)
+
+    def _check_cq_drain(self, node: ast.Call) -> None:
+        if self.cq_allowed:
+            return
+        chain = _attr_tail(node.func)
+        if len(chain) >= 2 and chain[-2] == "cq" and chain[-1] in _CQ_DRAIN_FUNCS:
+            self._flag(
+                "UNR007", node,
+                f"cq.{chain[-1]}() drains a completion queue outside "
+                "core/engine.py — the progress engine is the only consumer",
+            )
 
     def _check_rng_call(self, node: ast.Call, resolved: str) -> None:
         parts = resolved.split(".")
@@ -448,6 +494,11 @@ def _heapq_allowed(path: str, config: LintConfig) -> bool:
     return any(norm.endswith(suffix) for suffix in config.heapq_allowed_suffixes)
 
 
+def _cq_allowed(path: str, config: LintConfig) -> bool:
+    norm = _norm(path)
+    return any(norm.endswith(suffix) for suffix in config.cq_allowed_suffixes)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -474,6 +525,7 @@ def lint_source(
         in_wallclock_scope=_in_wallclock_scope(path, config),
         heapq_allowed=_heapq_allowed(path, config),
         in_obs_scope=_in_obs_scope(path, config),
+        cq_allowed=_cq_allowed(path, config),
     )
     visitor.visit(tree)
     per_line, per_file = _parse_suppressions(source)

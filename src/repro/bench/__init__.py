@@ -1,5 +1,12 @@
 """Benchmark harness: drivers for every paper table and figure."""
 
+from .enginebench import (
+    ENGINE_BENCH_SCHEMA,
+    engine_bench,
+    validate_engine_bench,
+    validate_engine_bench_file,
+    write_engine_bench,
+)
 from .faultdemo import DEFAULT_FAULTS, fault_demo
 from .latency import DEFAULT_SIZES, latency_table, mpi_rma_pingpong, unr_pingpong
 from .multinic import aggregation_sweep, imbalance_sweep, pingpong_with_calc
@@ -17,10 +24,12 @@ from .tracedemo import TRACE_DEMOS, trace_demo
 __all__ = [
     "DEFAULT_FAULTS",
     "DEFAULT_SIZES",
+    "ENGINE_BENCH_SCHEMA",
     "FIG6_GRIDS",
     "FIG7_SERIES",
     "TRACE_DEMOS",
     "aggregation_sweep",
+    "engine_bench",
     "fault_demo",
     "fig6_platform",
     "fig6_polling_study",
@@ -35,4 +44,7 @@ __all__ = [
     "powerllel_point",
     "trace_demo",
     "unr_pingpong",
+    "validate_engine_bench",
+    "validate_engine_bench_file",
+    "write_engine_bench",
 ]

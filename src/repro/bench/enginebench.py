@@ -1,0 +1,179 @@
+"""Engine micro-benchmark: datapath cost of the unified transfer engine.
+
+``engine_bench`` drives the two RMA datapaths of
+:class:`~repro.core.engine.TransferEngine` — a notified PUT ping-pong
+and a notified GET pull loop — on an observed 2-node job and reports,
+per path, *operations per simulated second* and *simulator events per
+operation*.  The second number is the regression metric: every extra
+coroutine or timeout the engine schedules per post shows up in it, so
+CI can catch datapath bloat without any wall-clock noise (the record
+is deterministic: same seed → identical fingerprints and counts).
+
+The result is the machine-readable ``BENCH_engine.json`` record
+(schema ``repro.bench.engine/1``), validated by
+:func:`validate_engine_bench` in the same hand-rolled style as the
+``repro.obs`` exporters.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Generator, List
+
+import numpy as np
+
+from ..core import Unr
+from ..netsim.trace import transfer_fingerprint
+from ..obs import Recorder
+from ..platforms import get_platform, make_job
+from ..runtime import run_job
+from ..units import US
+
+__all__ = [
+    "ENGINE_BENCH_SCHEMA",
+    "engine_bench",
+    "write_engine_bench",
+    "validate_engine_bench",
+    "validate_engine_bench_file",
+]
+
+ENGINE_BENCH_SCHEMA = "repro.bench.engine/1"
+
+
+def _path_metrics(recorder: Recorder, ops_key: str) -> Dict[str, Any]:
+    """Reduce one observed run to the per-path metric block."""
+    snap = recorder.snapshot()
+    ops = float(snap["counters"][ops_key])
+    sim_events = float(snap["counters"]["sim.events"])
+    t_end = float(snap["t_end"])
+    return {
+        "ops": ops,
+        "ctrl_msgs": float(snap["counters"].get("core.ctrl_msgs", 0.0)),
+        "sim_events": sim_events,
+        "sim_time_us": t_end / US,
+        "ops_per_sim_sec": ops / t_end if t_end > 0 else 0.0,
+        "sim_events_per_op": sim_events / ops if ops else 0.0,
+        "fingerprint": transfer_fingerprint(recorder.transfers),
+    }
+
+
+def _put_pingpong(platform: str, size: int, iters: int, seed: int) -> Recorder:
+    """The Figure 4 notified PUT ping-pong, observed (2 * iters puts)."""
+    from .latency import unr_pingpong
+
+    out: Dict[str, Any] = {}
+    unr_pingpong(platform, size, iters, out=out)
+    return out["recorder"]
+
+
+def _get_pull_loop(platform: str, size: int, iters: int, seed: int) -> Recorder:
+    """Rank 0 repeatedly GETs a patterned buffer from rank 1 (iters gets)."""
+    plat = get_platform(platform)
+    job = make_job(platform, 2, seed=seed)
+    recorder = Recorder.attach(job.cluster)
+    unr = Unr(job, plat.channel, observe=recorder)
+
+    def program(ctx: Any) -> Generator[Any, Any, float]:
+        ep = unr.endpoint(ctx.rank)
+        buf = np.zeros(size, dtype=np.uint8)
+        mr = ep.mem_reg(buf)
+        if ctx.rank == 0:
+            sig = ep.sig_init(1)
+            blk = ep.blk_init(mr, 0, size, signal=sig)
+            rmt = yield from ep.recv_ctl(1, tag="addr")
+            for it in range(iters):
+                ep.get(blk, rmt)
+                yield from ep.sig_wait(sig)
+                ep.sig_reset(sig)
+                yield from ep.send_ctl(1, "next", tag="credit")
+        else:
+            buf[:] = (np.arange(size) * 7 + 3) % 251
+            blk = ep.blk_init(mr, 0, size)
+            yield from ep.send_ctl(0, blk, tag="addr")
+            for it in range(iters):
+                yield from ep.recv_ctl(0, tag="credit")
+        return ctx.env.now
+
+    run_job(job, program)
+    return recorder
+
+
+def engine_bench(
+    platform: str = "th-xy",
+    *,
+    size: int = 65536,
+    iters: int = 6,
+    seed: int = 2024,
+) -> Dict[str, Any]:
+    """Run both datapaths; returns the ``BENCH_engine.json`` record."""
+    put_rec = _put_pingpong(platform, size, iters, seed)
+    get_rec = _get_pull_loop(platform, size, iters, seed)
+    paths = {
+        "put": _path_metrics(put_rec, "core.puts"),
+        "get": _path_metrics(get_rec, "core.gets"),
+    }
+    return {
+        "schema": ENGINE_BENCH_SCHEMA,
+        "name": "engine_bench",
+        "platform": platform,
+        "params": {"size": size, "iters": iters, "seed": seed},
+        "paths": paths,
+        # The headline regression metric: simulator events the engine
+        # spends per posted PUT (stripe posts, token bookkeeping, CQ
+        # sweeps, ctrl tail) on the ping-pong workload.
+        "sim_events_per_put": paths["put"]["sim_events_per_op"],
+    }
+
+
+def write_engine_bench(record: Dict[str, Any], path: str) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True, indent=2) + "\n")
+    return path
+
+
+def validate_engine_bench(record: Any) -> List[str]:
+    """Schema-check an engine-bench record; returns error strings."""
+    errors: List[str] = []
+    if not isinstance(record, dict):
+        return ["engine bench record must be an object"]
+    if record.get("schema") != ENGINE_BENCH_SCHEMA:
+        errors.append(
+            f"schema must be {ENGINE_BENCH_SCHEMA!r}, got {record.get('schema')!r}"
+        )
+    if not isinstance(record.get("name"), str):
+        errors.append("name must be a string")
+    if not isinstance(record.get("params"), dict):
+        errors.append("params must be an object")
+    paths = record.get("paths")
+    if not isinstance(paths, dict):
+        errors.append("paths must be an object")
+        paths = {}
+    for key in ("put", "get"):
+        block = paths.get(key)
+        where = f"paths.{key}"
+        if not isinstance(block, dict):
+            errors.append(f"{where} missing or not an object")
+            continue
+        for metric in ("ops", "sim_events", "sim_time_us",
+                       "ops_per_sim_sec", "sim_events_per_op"):
+            value = block.get(metric)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"{where}.{metric} must be a number")
+            elif metric in ("ops", "sim_events") and value <= 0:
+                errors.append(f"{where}.{metric} must be positive")
+        fp = block.get("fingerprint")
+        if not (isinstance(fp, str) and len(fp) == 64):
+            errors.append(f"{where}.fingerprint must be a sha256 hex digest")
+    spp = record.get("sim_events_per_put")
+    if not isinstance(spp, (int, float)) or isinstance(spp, bool) or spp <= 0:
+        errors.append("sim_events_per_put must be a positive number")
+    return errors
+
+
+def validate_engine_bench_file(path: str) -> None:
+    """Load + validate an engine-bench JSON file; raises ``ValueError``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    errors = validate_engine_bench(record)
+    if errors:
+        raise ValueError(f"{path}: " + "; ".join(errors))

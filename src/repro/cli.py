@@ -10,6 +10,7 @@
     python -m repro scaling  --platform th-2a   # Figure 7 series
     python -m repro faults                      # fault-injection demo
     python -m repro trace stream                # observed demo + Perfetto JSON
+    python -m repro engine-bench                # unified-engine datapath cost
     python -m repro lint src/repro              # unrlint determinism rules
     python -m repro check                       # UnrSanitizer runtime checks
 """
@@ -131,8 +132,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max rows in the printed timeline")
 
     p = sub.add_parser(
+        "engine-bench",
+        help="unified-engine micro-benchmark: ops per simulated second and "
+             "sim events per op on the PUT/GET datapaths -> BENCH_engine.json",
+    )
+    p.add_argument("--platform", default="th-xy")
+    p.add_argument("--size", type=int, default=65536)
+    p.add_argument("--iters", type=int, default=6)
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument("--out", default="BENCH_engine.json", metavar="PATH",
+                   help="machine-readable engine bench record output")
+    p.add_argument("--max-events-per-put", type=float, default=None,
+                   metavar="N",
+                   help="fail (exit 1) when sim_events_per_put exceeds N "
+                        "(the CI datapath-bloat gate)")
+
+    p = sub.add_parser(
         "lint",
-        help="unrlint: static determinism rules UNR001-UNR006 over Python sources",
+        help="unrlint: static determinism rules UNR001-UNR007 over Python sources",
     )
     p.add_argument("paths", nargs="*", default=["src/repro"],
                    help="files or directories to lint (default: src/repro)")
@@ -394,6 +411,34 @@ def cmd_scaling(args) -> int:
     return 0
 
 
+def cmd_engine_bench(args) -> int:
+    from .bench import engine_bench, validate_engine_bench, write_engine_bench
+
+    record = engine_bench(
+        args.platform, size=args.size, iters=args.iters, seed=args.seed,
+    )
+    errors = validate_engine_bench(record)
+    if errors:
+        print(f"engine-bench: record FAILED validation: {'; '.join(errors)}")
+        return 1
+    print(f"Engine bench on {args.platform} "
+          f"({args.iters} iters x {args.size} B):")
+    for key in ("put", "get"):
+        m = record["paths"][key]
+        print(f"  {key:4s} {int(m['ops'])} ops in {m['sim_time_us']:.2f} us "
+              f"— {m['ops_per_sim_sec']:.0f} ops/sim-s, "
+              f"{m['sim_events_per_op']:.2f} sim events/op")
+    write_engine_bench(record, args.out)
+    print(f"  -> {args.out} (put fingerprint "
+          f"{record['paths']['put']['fingerprint'][:16]}…)")
+    if (args.max_events_per_put is not None
+            and record["sim_events_per_put"] > args.max_events_per_put):
+        print(f"  verdict FAILED: sim_events_per_put "
+              f"{record['sim_events_per_put']:.2f} > {args.max_events_per_put}")
+        return 1
+    return 0
+
+
 def cmd_lint(args) -> int:
     from .analysis import RULES, LintConfig, format_findings, lint_paths
 
@@ -461,6 +506,7 @@ _COMMANDS = {
     "powerllel": cmd_powerllel,
     "faults": cmd_faults,
     "trace": cmd_trace,
+    "engine-bench": cmd_engine_bench,
     "fig6": cmd_fig6,
     "scaling": cmd_scaling,
     "lint": cmd_lint,

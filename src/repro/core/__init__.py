@@ -2,13 +2,15 @@
 
 Layered as in the paper (§IV-A): the *UNR Transport Layer* abstracts
 Notifiable RMA Primitives (:mod:`repro.interconnect` adapters +
-:mod:`repro.core.levels` encodings + :mod:`repro.core.polling`), and
-the *UNR Interface Module* exposes signals, BLKs, PUT/GET and plans
-(:mod:`repro.core.api`).
+:mod:`repro.core.levels` encodings + the unified transfer engine in
+:mod:`repro.core.engine` — one ``post_op`` pipeline and a per-node
+``ProgressEngine``), and the *UNR Interface Module* exposes signals,
+BLKs, PUT/GET and plans (:mod:`repro.core.api`).
 """
 
 from .api import Unr, UnrEndpoint
 from .convert import alltoallv_convert, irecv_convert, isend_convert, sendrecv_convert
+from .engine import CTRL_BYTES, PollingEngine, ProgressEngine, StripePlan, TransferEngine, TransferOp
 from .errors import (
     UnrDegradeWarning,
     UnrError,
@@ -21,7 +23,7 @@ from .errors import (
 from .levels import LevelPolicy, decode_custom, encode_custom, max_signals, policy_for_channel
 from .memory import Blk, MemoryRegion
 from .plan import PlannedOp, RmaPlan
-from .polling import PollingConfig, PollingEngine
+from .polling import PollingConfig
 from .signal import DEFAULT_N_BITS, MASK64, Signal, submessage_addends
 from .transport import (
     DEFAULT_STRIPE_THRESHOLD,
@@ -33,6 +35,7 @@ from .transport import (
 
 __all__ = [
     "Blk",
+    "CTRL_BYTES",
     "DEFAULT_N_BITS",
     "DEFAULT_STRIPE_THRESHOLD",
     "LevelPolicy",
@@ -42,10 +45,14 @@ __all__ = [
     "PlannedOp",
     "PollingConfig",
     "PollingEngine",
+    "ProgressEngine",
     "ReliabilityConfig",
     "RmaPlan",
     "Signal",
     "Stripe",
+    "StripePlan",
+    "TransferEngine",
+    "TransferOp",
     "Unr",
     "UnrDegradeWarning",
     "UnrEndpoint",

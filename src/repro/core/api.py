@@ -19,6 +19,14 @@ The endpoint methods that wait (``sig_wait``, ``exchange_blk``) are
 generators — drive them with ``yield from`` inside rank programs.
 ``put``/``get`` are non-blocking posts: completion is observed through
 signals, never through return values (that is the point of the paper).
+
+This module is a thin facade: ``put``/``get``/``send_ctl`` only resolve
+per-call signal overrides and hand a descriptor to the unified
+:class:`~repro.core.engine.TransferEngine`, where stripe planning,
+reliability, sanitizer admission and posting live once for every
+datapath.  Completion records come back through the per-node
+:class:`~repro.core.engine.ProgressEngine` into the ``_handle_*``
+handlers registered below.
 """
 
 from __future__ import annotations
@@ -26,34 +34,35 @@ from __future__ import annotations
 import os
 import warnings
 from collections import Counter
-from typing import Any, Callable, Generator, List, Optional, Set, Union
+from typing import Any, Generator, List, Optional, Set, Union
 
 import numpy as np
 
 from ..analysis.sanitizer import SanitizerReport, UnrSanitizer
 from ..interconnect import MpiFallbackChannel, RmaChannel, make_channel
-from ..netsim import US, CompletionRecord
+from ..netsim import CompletionRecord
 from ..obs import Recorder
 from ..runtime import Job
 from ..sim import FilterStore
+from ..units import US
+from .engine import CTRL_BYTES, ProgressEngine, TransferEngine
 from .errors import (
     UnrDegradeWarning,
     UnrOverflowError,
     UnrSyncError,
     UnrSyncWarning,
-    UnrTimeoutError,
     UnrUsageError,
 )
-from .levels import LevelPolicy, decode_custom, encode_custom, max_signals, policy_for_channel
+from .levels import LevelPolicy, decode_custom, max_signals, policy_for_channel
 from .memory import Blk, MemoryRegion
-from .polling import PollingConfig, PollingEngine
-from .signal import DEFAULT_N_BITS, Signal, submessage_addends
-from .transport import DEFAULT_STRIPE_THRESHOLD, ReliabilityConfig, plan_stripes
+from .polling import PollingConfig
+from .signal import DEFAULT_N_BITS, Signal
+from .transport import DEFAULT_STRIPE_THRESHOLD, ReliabilityConfig
 
 __all__ = ["Unr", "UnrEndpoint"]
 
 _UNSET = object()
-_CTRL_BYTES = 24  # wire size of a (p, a) control message
+_CTRL_BYTES = CTRL_BYTES  # wire size of a (p, a) control message
 
 
 class Unr:
@@ -152,6 +161,12 @@ class Unr:
         self.put_local_policy = policy_for_channel(channel, "put_local", mode2_split)
         self.get_remote_policy = policy_for_channel(channel, "get_remote", mode2_split)
         self.get_local_policy = policy_for_channel(channel, "get_local", mode2_split)
+        self._record_policies = {
+            "put_remote": self.put_remote_policy,
+            "put_local": self.put_local_policy,
+            "get_remote": self.get_remote_policy,
+            "get_local": self.get_local_policy,
+        }
 
         if n_bits is None:
             def side_n(policy: LevelPolicy) -> int:
@@ -204,16 +219,22 @@ class Unr:
                 lambda: {f"core.{k}": float(stats[k]) for k in sorted(stats)}
             )
 
+        #: the unified transfer engine: every put/get/ctrl/fallback post
+        #: flows through its :meth:`~repro.core.engine.TransferEngine.post_op`.
+        self.engine = TransferEngine(self)
+
         self.polling_config = self._resolve_polling(polling)
-        self.engines: List[PollingEngine] = []
+        self.engines: List[ProgressEngine] = []
         if self.polling_config.mode != "none":
             for node in job.cluster.nodes:
-                self.engines.append(
-                    PollingEngine(
-                        self.env, node, self.polling_config, self._handle_record,
-                        obs=self.obs,
-                    )
+                eng = ProgressEngine(
+                    self.env, node, self.polling_config,
+                    self._handle_unknown_record, obs=self.obs,
                 )
+                for kind in self._record_policies:
+                    eng.register(kind, self._handle_rma_record)
+                eng.register("ctrl", self._handle_ctrl_record)
+                self.engines.append(eng)
 
     # ------------------------------------------------------------------
     def _resolve_polling(self, polling: Union[PollingConfig, str, None]) -> PollingConfig:
@@ -299,22 +320,28 @@ class Unr:
         else:
             self.stats["adds_applied"] += 1
 
-    def _handle_record(self, node: int, record: CompletionRecord) -> None:
-        """Polling-thread dispatch: decode custom bits, apply the add."""
-        if record.kind == "ctrl":
-            sid, addend = record.payload
-        else:
-            policy = {
-                "put_remote": self.put_remote_policy,
-                "put_local": self.put_local_policy,
-                "get_remote": self.get_remote_policy,
-                "get_local": self.get_local_policy,
-            }.get(record.kind)
-            if policy is None:
-                self.stats["unknown_records"] += 1
-                return
-            sid, addend = decode_custom(record.custom, policy)
+    # -- progress-engine handlers (one per record kind) -----------------
+    def _handle_rma_record(self, node: int, record: CompletionRecord) -> None:
+        """RMA completion: decode the custom bits, apply the add."""
+        sid, addend = decode_custom(record.custom, self._record_policies[record.kind])
         self._apply_add(node, sid, addend, token=record.token)
+
+    def _handle_ctrl_record(self, node: int, record: CompletionRecord) -> None:
+        """Level-0 control message: the (p, a) pair travels as payload."""
+        sid, addend = record.payload
+        self._apply_add(node, sid, addend, token=record.token)
+
+    def _handle_unknown_record(self, node: int, record: CompletionRecord) -> None:
+        self.stats["unknown_records"] += 1
+
+    def _handle_record(self, node: int, record: CompletionRecord) -> None:
+        """Dispatch one record exactly as the progress engine would."""
+        if record.kind == "ctrl":
+            self._handle_ctrl_record(node, record)
+        elif record.kind in self._record_policies:
+            self._handle_rma_record(node, record)
+        else:
+            self._handle_unknown_record(node, record)
 
     # -- memory ------------------------------------------------------------
     def _register_mr(
@@ -478,13 +505,15 @@ class UnrEndpoint:
         envelope; pass the payload size when shipping real data)."""
         inbox = self.unr._inbox[dst_rank]
         done = self.env.event()
-        self.unr.channel.put(
-            self.rank,
-            dst_rank,
-            max(nbytes, _CTRL_BYTES),
-            payload=(self.rank, tag, obj),
-            on_deliver=lambda item: (inbox.put(item), done.succeed())[-1],
-            ordered=True,
+        engine = self.unr.engine
+        engine.post_op(
+            engine.prepare_ctrl(
+                self.rank,
+                dst_rank,
+                payload=(self.rank, tag, obj),
+                on_deliver=lambda item: (inbox.put(item), done.succeed())[-1],
+                nbytes=max(nbytes, _CTRL_BYTES),
+            )
         )
         yield done
 
@@ -524,270 +553,13 @@ class UnrEndpoint:
         when the source buffer is reusable.  Either can be overridden
         per-call (``remote_sid`` — the target-side signal id;
         ``local_signal`` — a local :class:`Signal`)."""
-        unr = self.unr
-        if src_blk.rank != self.rank:
-            raise UnrUsageError(f"put source BLK belongs to rank {src_blk.rank}")
-        if src_blk.size != dst_blk.size:
-            raise UnrUsageError(
-                f"size mismatch: src {src_blk.size}B vs dst {dst_blk.size}B"
-            )
         rsid = dst_blk.signal_sid if remote_sid is _UNSET else remote_sid
         if local_signal is _UNSET:
             lsid = src_blk.signal_sid
         else:
             lsid = None if local_signal is None else local_signal.sid
-        if unr.sanitizer is not None:
-            unr.sanitizer.check_rma(
-                "put", self.rank, src_blk, dst_blk,
-                remote_sid=rsid, local_sid=lsid,
-            )
-        src_mr = unr._mr_of(src_blk)
-        dst_mr = unr._mr_of(dst_blk)
-        dst_node = unr._node_index(dst_blk.rank)
-
-        ch = unr.channel
-        software = getattr(ch, "software_notify", False)
-        rpol = unr.put_remote_policy
-        lpol = unr.put_local_policy
-        degraded_r = rsid is not None and rsid >= unr.sid_capacity
-        ctrl_remote = rsid is not None and (rpol.level == 0 or degraded_r) and not software
-        # Striping requires hardware addend bits on every side that
-        # carries a signal, and non-degraded signal ids.
-        multi_ok = (
-            not software
-            and not ctrl_remote
-            and (rsid is None or (rpol.multi_channel and rpol.a_bits > 0))
-            and (lsid is None or (lpol.multi_channel and lpol.a_bits > 0))
-        )
-        n_rails = min(
-            self.job.node_of(self.rank).n_rails,
-            self.job.node_of(dst_blk.rank).n_rails,
-        )
-        max_k = self._max_stripe_k(rpol if rsid is not None else lpol)
-        if unr.max_stripe_rails:
-            max_k = min(max_k, unr.max_stripe_rails)
-        stripes = plan_stripes(
-            src_blk.size,
-            n_rails,
-            threshold=unr.stripe_threshold,
-            multi_channel=multi_ok,
-            max_fragments=max_k,
-        )
-        k = len(stripes)
-        r_addends = submessage_addends(k, unr.n_bits) if rsid is not None else None
-        l_addends = submessage_addends(k, unr.n_bits) if lsid is not None else None
-
-        src_bytes = src_mr.slice(src_blk.offset, src_blk.size)
-        unr.stats["puts"] += 1
-        unr.stats["fragments"] += k
-        env = self.env
-        rel = unr.reliability
-        # The ordered Level-0 lane and the MPI fallback are already
-        # reliable (exactly-once, in order); only unordered RDMA
-        # fragments need the watchdog.
-        reliable = rel is not None and not software and not ctrl_remote
-        for st in stripes:
-            dst_view = dst_mr.slice(dst_blk.offset + st.offset, st.size)
-            if src_bytes is None or dst_view is None:
-                payload = None
-                dst_view = None
-            else:
-                payload = src_bytes[st.offset : st.offset + st.size].copy()
-
-            delivered = None
-            if reliable:
-                rtok = unr._next_token() if rsid is not None else None
-                ltok = unr._next_token() if lsid is not None else None
-                delivered = env.event()
-
-                def deliver(data: Any, view: Any = dst_view, evt: Any = delivered) -> None:
-                    # First delivery wins; replicas and retransmit races
-                    # must neither rewrite the (possibly reused) buffer
-                    # nor re-arm anything.
-                    if evt.triggered:
-                        return
-                    if view is not None and data is not None:
-                        view[:] = data
-                    evt.succeed(env.now)
-
-            elif dst_view is not None:
-
-                def deliver(data: Any, view: Any = dst_view) -> None:
-                    view[:] = data
-
-            else:
-                deliver = None
-
-            remote_custom = local_custom = None
-            remote_action = local_action = None
-            local_sw = None
-            if rsid is not None and not ctrl_remote:
-                if software or rpol.hw_offload:
-                    remote_action = (
-                        lambda a=r_addends[st.index], n=dst_node, s=rsid,
-                        t=(rtok if reliable else None): unr._apply_add(n, s, a, token=t)
-                    )
-                else:
-                    remote_custom = encode_custom(rsid, r_addends[st.index], rpol)
-            if lsid is not None:
-                if software or lpol.level == 0:
-                    local_sw = (
-                        lambda a=l_addends[st.index], n=self.node_index, s=lsid,
-                        t=(ltok if reliable else None): unr._apply_add(n, s, a, token=t)
-                    )
-                    if software:
-                        local_action = local_sw
-                elif lpol.hw_offload:
-                    local_action = (
-                        lambda a=l_addends[st.index], n=self.node_index, s=lsid,
-                        t=(ltok if reliable else None): unr._apply_add(n, s, a, token=t)
-                    )
-                else:
-                    local_custom = encode_custom(lsid, l_addends[st.index], lpol)
-
-            def post(rail: int, st: Any = st, payload: Any = payload,
-                     deliver: Any = deliver,
-                     remote_custom: Any = remote_custom, local_custom: Any = local_custom,
-                     remote_action: Any = remote_action, local_action: Any = local_action,
-                     local_sw: Any = local_sw,
-                     rtok: Any = (rtok if reliable else None),
-                     ltok: Any = (ltok if reliable else None)) -> Any:
-                done = ch.put(
-                    self.rank,
-                    dst_blk.rank,
-                    st.size,
-                    payload=payload,
-                    on_deliver=deliver,
-                    remote_custom=remote_custom,
-                    local_custom=local_custom,
-                    remote_action=remote_action,
-                    local_action=local_action,
-                    rail=rail,
-                    ordered=ctrl_remote,  # Level-0 data must stay ordered
-                    remote_token=rtok,
-                    local_token=ltok,
-                )
-                if local_sw is not None and not software:
-                    # No local custom bits: apply the local add in software
-                    # when the send completes (the sender knows its own
-                    # posts).  Under retransmits the idempotence token
-                    # keeps this a single add.
-                    done.callbacks.append(lambda _e, fn=local_sw: fn())
-                return done
-
-            if reliable:
-                first = self._live_rail(dst_blk.rank, st.rail)
-                post(first)
-                self._watchdog(post, delivered, st.size, dst_blk.rank, first, "PUT")
-            else:
-                post(st.rail)
-        if ctrl_remote:
-            self._post_ctrl(dst_blk.rank, dst_node, rsid, -1)
-
-    # -- reliability layer ---------------------------------------------------
-    def _live_rail(self, dst_rank: int, preferred: int) -> int:
-        """First rail at or after ``preferred`` whose NICs are alive on
-        both ends (rail failover).  Falls back to ``preferred`` when
-        every rail is dead — the watchdog will then raise."""
-        job = self.job
-        n_rails = min(
-            job.node_of(self.rank).n_rails,
-            job.node_of(dst_rank).n_rails,
-        )
-        for i in range(n_rails):
-            rail = (preferred + i) % n_rails
-            if not (job.nic_of(self.rank, rail).failed
-                    or job.nic_of(dst_rank, rail).failed):
-                if i and self.unr.obs is not None:
-                    self.unr.obs.count("reliability.rail_failovers")
-                return rail
-        return preferred % n_rails
-
-    def _delivery_estimate(self, nbytes: int, round_trip: bool = False) -> float:
-        """No-contention delivery time of one fragment (seconds); the
-        watchdog timeout scales from this so large stripes are not
-        declared lost while still serializing onto the wire."""
-        spec = self.job.cluster.spec.nic
-        est = spec.msg_overhead + spec.latency + nbytes / spec.bandwidth + spec.rx_overhead
-        if round_trip:
-            est += spec.msg_overhead + spec.latency
-        return est
-
-    def _watchdog(self, post: Callable[[int], Any], delivered: Any, nbytes: int,
-                  dst_rank: int, first_rail: int, what: str,
-                  round_trip: bool = False) -> None:
-        """Guard one posted fragment: retransmit (with exponential
-        backoff, moving to the next live rail each attempt) until
-        ``delivered`` fires, else raise :class:`UnrTimeoutError`."""
-        unr = self.unr
-        rel = unr.reliability
-        env = self.env
-        base = rel.fragment_timeout(self._delivery_estimate(nbytes, round_trip))
-
-        def guard() -> Generator[Any, Any, None]:
-            rail = first_rail
-            t = base
-            for attempt in range(rel.max_retries + 1):
-                yield env.any_of([delivered, env.timeout(t)])
-                if delivered.triggered:
-                    return
-                if attempt == rel.max_retries:
-                    break
-                rail = self._live_rail(dst_rank, rail + 1)
-                unr.stats["retransmits"] += 1
-                if unr.obs is not None:
-                    unr.obs.event(
-                        "reliability.retransmit", track=f"rank{self.rank}",
-                        what=what, attempt=attempt + 1, rail=rail, nbytes=nbytes,
-                    )
-                post(rail)
-                t = min(t * rel.backoff_factor, max(rel.max_backoff, base))
-            unr.stats["reliability_failures"] += 1
-            raise UnrTimeoutError(
-                f"{what} of {nbytes}B from rank {self.rank} to rank {dst_rank}: "
-                f"no delivery after {rel.max_retries} retransmits "
-                f"(last timeout {t * 1e6:.1f} us)"
-            )
-
-        env.process(guard(), name=f"unr-watchdog-{what.lower()}")
-
-    def _max_stripe_k(self, policy: LevelPolicy) -> int:
-        """Largest stripe count whose addends fit the policy's bits."""
-        if policy.a_bits == 0:
-            return 1
-        budget = policy.a_bits - 2 - self.unr.n_bits
-        if budget <= 0:
-            return 1
-        return min(1 << budget, 1 << 16)
-
-    def _post_ctrl(self, dst_rank: int, dst_node: int, sid: int, addend: int) -> None:
-        """Level-0 scheme: an order-preserving message carrying (p, a)."""
-        unr = self.unr
-        unr.stats["ctrl_msgs"] += 1
-        if unr.obs is not None:
-            unr.obs.event(
-                "unr.ctrl_fallback", track=f"rank{self.rank}", dst=dst_rank, sid=sid
-            )
-        dst_nic = self.job.nic_of(dst_rank)
-        env = self.env
-
-        def deliver(_payload: Any) -> None:
-            rec = CompletionRecord(
-                kind="ctrl",
-                payload=(sid, addend),
-                src_node=self.node_index,
-                dst_node=dst_node,
-                complete_time=env.now,
-            )
-            env.process(dst_nic.cq.push(rec), name="ctrl-cqe")
-
-        unr.channel.put(
-            self.rank,
-            dst_rank,
-            _CTRL_BYTES,
-            on_deliver=deliver,
-            ordered=True,
-        )
+        engine = self.unr.engine
+        engine.post_op(engine.prepare_put(self.rank, src_blk, dst_blk, rsid, lsid))
 
     def get(
         self,
@@ -804,120 +576,13 @@ class UnrEndpoint:
         signal bound to ``remote_blk`` fires at the target when the read
         completes (where the interface supports GET-remote custom bits —
         elsewhere UNR sends a Level-0 control message after arrival)."""
-        unr = self.unr
-        if local_blk.rank != self.rank:
-            raise UnrUsageError(f"get local BLK belongs to rank {local_blk.rank}")
-        if local_blk.size != remote_blk.size:
-            raise UnrUsageError(
-                f"size mismatch: local {local_blk.size}B vs remote {remote_blk.size}B"
-            )
         rsid = remote_blk.signal_sid if remote_sid is _UNSET else remote_sid
         if local_signal is _UNSET:
             lsid = local_blk.signal_sid
         else:
             lsid = None if local_signal is None else local_signal.sid
-        if unr.sanitizer is not None:
-            unr.sanitizer.check_rma(
-                "get", self.rank, local_blk, remote_blk,
-                remote_sid=rsid, local_sid=lsid,
-            )
-        local_mr = unr._mr_of(local_blk)
-        remote_mr = unr._mr_of(remote_blk)
-        remote_node = unr._node_index(remote_blk.rank)
-
-        ch = unr.channel
-        software = getattr(ch, "software_notify", False)
-        rpol = unr.get_remote_policy
-        lpol = unr.get_local_policy
-        ctrl_remote = rsid is not None and (
-            rpol.level == 0 or rsid >= unr.sid_capacity
-        ) and not software
-
-        remote_view = remote_mr.slice(remote_blk.offset, remote_blk.size)
-        local_view = local_mr.slice(local_blk.offset, local_blk.size)
-        unr.stats["gets"] += 1
-        virtual = remote_view is None or local_view is None
-        env = self.env
-        rel = unr.reliability
-        reliable = rel is not None and not software
-        rtok = unr._next_token() if (reliable and rsid is not None and not ctrl_remote) else None
-        ltok = unr._next_token() if (reliable and lsid is not None) else None
-
-        delivered = None
-        if reliable:
-            delivered = env.event()
-
-            def deliver(data: Any, evt: Any = delivered) -> None:
-                if evt.triggered:
-                    return
-                if not virtual and data is not None:
-                    local_view[:] = data
-                evt.succeed(env.now)
-
-        elif virtual:
-            deliver = None
-        else:
-            deliver = lambda data: local_view.__setitem__(slice(None), data)
-
-        remote_custom = local_custom = None
-        remote_action = local_action = None
-        local_sw = None
-        if rsid is not None and not ctrl_remote:
-            if software or rpol.hw_offload:
-                remote_action = lambda n=remote_node, s=rsid, t=rtok: unr._apply_add(n, s, -1, token=t)
-            else:
-                remote_custom = encode_custom(rsid, -1, rpol)
-        if lsid is not None:
-            local_sw = lambda n=self.node_index, s=lsid, t=ltok: unr._apply_add(n, s, -1, token=t)
-            if software:
-                local_action = local_sw
-            elif lpol.hw_offload:
-                local_action = local_sw
-            elif lpol.level == 0:
-                pass  # applied via completion callback below
-            else:
-                local_custom = encode_custom(lsid, -1, lpol)
-
-        def post(rail: int) -> Any:
-            done = ch.get(
-                self.rank,
-                remote_blk.rank,
-                local_blk.size,
-                fetch=None if virtual else (lambda: remote_view.copy()),
-                on_deliver=deliver,
-                remote_custom=remote_custom,
-                local_custom=local_custom,
-                remote_action=remote_action,
-                local_action=local_action,
-                rail=rail,
-                remote_token=rtok,
-                local_token=ltok,
-            )
-            if not reliable:
-                if lsid is not None and not software and lpol.level == 0:
-                    done.callbacks.append(lambda _e, fn=local_sw: fn())
-                if ctrl_remote:
-                    # Notify the target after our read completed.
-                    done.callbacks.append(
-                        lambda _e: self._post_ctrl(remote_blk.rank, remote_node, rsid, -1)
-                    )
-            return done
-
-        if reliable:
-            # Post-completion actions fire on *actual* delivery, exactly
-            # once, no matter how many attempts the watchdog makes.
-            if lsid is not None and not software and lpol.level == 0:
-                delivered.callbacks.append(lambda _e, fn=local_sw: fn())
-            if ctrl_remote:
-                delivered.callbacks.append(
-                    lambda _e: self._post_ctrl(remote_blk.rank, remote_node, rsid, -1)
-                )
-            first = self._live_rail(remote_blk.rank, 0)
-            post(first)
-            self._watchdog(post, delivered, local_blk.size, remote_blk.rank,
-                           first, "GET", round_trip=True)
-        else:
-            post(0)
+        engine = self.unr.engine
+        engine.post_op(engine.prepare_get(self.rank, local_blk, remote_blk, rsid, lsid))
 
     # -- plans ---------------------------------------------------------------
     def plan(self) -> "RmaPlan":

@@ -1,0 +1,773 @@
+"""The unified transfer engine: one datapath for every UNR operation.
+
+The paper's UNR Transport Layer (§IV-B) is a *single* abstraction that
+schedules every notifiable-RMA operation over UNR Transport Channels.
+This module is that chokepoint for the reproduction:
+
+* :class:`TransferOp` — a prepared, reusable descriptor of one logical
+  operation (PUT, GET, or a Level-0 control message): stripe plan,
+  encoded custom bits, software-add actions, reliability policy.
+  Argument validation, signal-id resolution, sanitizer admission checks
+  and stripe planning happen once, at :meth:`TransferEngine.prepare_put`
+  / :meth:`TransferEngine.prepare_get` time — which is what makes
+  :class:`~repro.core.plan.RmaPlan` replay cheap.
+* :class:`TransferEngine` — the single :meth:`~TransferEngine.post_op`
+  pipeline that PUT, GET, control messages and the MPI fallback channel
+  all route through: payload capture, idempotence-token minting, rail
+  failover, the watchdog retransmit loop and the trailing Level-0
+  notification attach here once instead of per-call-site.
+* :class:`ProgressEngine` — the per-node progress core (the paper's
+  polling thread): drains all of a node's NIC completion queues in
+  batched sweeps and dispatches each record to the handler registered
+  for its kind (MMAS signal adds, ctrl-message applies, …).
+
+Everything here is timing-exact with the pre-engine inlined datapaths:
+the refactor is behaviour-preserving by construction (fingerprint tests
+in ``tests/core/test_plan_equivalence.py`` hold it to that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from ..netsim import CompletionRecord, Node
+from ..sim import Environment
+from ..units import US
+from .errors import UnrTimeoutError, UnrUsageError
+from .levels import LevelPolicy, encode_custom
+from .polling import PollingConfig
+from .signal import submessage_addends
+from .transport import plan_stripes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Recorder
+    from .api import Unr
+    from .memory import Blk
+
+__all__ = [
+    "CTRL_BYTES",
+    "StripePlan",
+    "TransferOp",
+    "TransferEngine",
+    "ProgressEngine",
+    "PollingEngine",
+]
+
+CTRL_BYTES = 24  # wire size of a (p, a) control message
+
+#: (node index, signal id, addend) — a software MMAS add to apply.
+AddSpec = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class StripePlan:
+    """One pre-validated fragment of a :class:`TransferOp`.
+
+    Everything static is resolved at prepare time: the destination byte
+    view, the encoded custom bits, and which side's add (if any) must be
+    applied in software.  Only the payload snapshot and the idempotence
+    tokens are per-post.
+    """
+
+    index: int
+    rail: int
+    offset: int
+    size: int
+    #: destination byte view written on delivery (``None`` when either
+    #: side of the transfer is a virtual region — geometry only).
+    view: Any = None
+    remote_custom: Optional[int] = None
+    local_custom: Optional[int] = None
+    #: add applied by the channel's remote action (software notify or
+    #: Level-4 hardware offload at the target).
+    remote_add: Optional[AddSpec] = None
+    #: add applied by the channel's local action (software notify or
+    #: hardware offload at the initiator).
+    local_action_add: Optional[AddSpec] = None
+    #: add applied when the post's send completes (no local custom
+    #: bits: the sender knows its own posts).
+    local_done_add: Optional[AddSpec] = None
+
+
+@dataclass
+class TransferOp:
+    """A prepared transfer descriptor, replayable via :meth:`TransferEngine.post_op`.
+
+    ``kind`` is ``'put'``, ``'get'`` or ``'ctrl'``.  For RMA kinds the
+    blocks are kept for sanitizer re-admission on replay (a signal freed
+    between plan starts must still be caught); ``n_posts`` counts how
+    often the descriptor has been posted.
+    """
+
+    kind: str
+    src_rank: int
+    dst_rank: int
+    src_node: int
+    dst_node: int
+    nbytes: int
+    local_blk: Optional["Blk"] = None
+    remote_blk: Optional["Blk"] = None
+    rsid: Optional[int] = None
+    lsid: Optional[int] = None
+    software: bool = False
+    ctrl_remote: bool = False
+    reliable: bool = False
+    stripes: Tuple[StripePlan, ...] = ()
+    #: PUT only: source byte view payload snapshots are taken from at
+    #: each post (the data may change between plan replays).
+    src_bytes: Any = None
+    #: GET only: remote-side fetch closure (``None`` for virtual runs).
+    fetch: Optional[Callable[[], Any]] = None
+    #: ctrl only: out-of-band payload + delivery callback…
+    payload: Any = None
+    on_deliver: Optional[Callable[[Any], None]] = None
+    #: …or the (sid, addend) of a Level-0 signal notification.
+    ctrl_sid: Optional[int] = None
+    ctrl_addend: int = -1
+    n_posts: int = field(default=0, compare=False)
+
+
+class TransferEngine:
+    """The one posting pipeline behind ``put``/``get``/ctrl/fallback."""
+
+    def __init__(self, unr: "Unr") -> None:
+        self.unr = unr
+        self.env = unr.env
+        self.job = unr.job
+
+    # -- prepare: descriptors --------------------------------------------
+    def prepare_put(
+        self,
+        src_rank: int,
+        src_blk: "Blk",
+        dst_blk: "Blk",
+        rsid: Optional[int],
+        lsid: Optional[int],
+    ) -> TransferOp:
+        """Validate and plan one PUT; returns a replayable descriptor."""
+        unr = self.unr
+        if src_blk.rank != src_rank:
+            raise UnrUsageError(f"put source BLK belongs to rank {src_blk.rank}")
+        if src_blk.size != dst_blk.size:
+            raise UnrUsageError(
+                f"size mismatch: src {src_blk.size}B vs dst {dst_blk.size}B"
+            )
+        if unr.sanitizer is not None:
+            unr.sanitizer.check_rma(
+                "put", src_rank, src_blk, dst_blk,
+                remote_sid=rsid, local_sid=lsid,
+            )
+        src_mr = unr._mr_of(src_blk)
+        dst_mr = unr._mr_of(dst_blk)
+        src_node = unr._node_index(src_rank)
+        dst_node = unr._node_index(dst_blk.rank)
+
+        software = getattr(unr.channel, "software_notify", False)
+        rpol = unr.put_remote_policy
+        lpol = unr.put_local_policy
+        degraded_r = rsid is not None and rsid >= unr.sid_capacity
+        ctrl_remote = rsid is not None and (rpol.level == 0 or degraded_r) and not software
+        # Striping requires hardware addend bits on every side that
+        # carries a signal, and non-degraded signal ids.
+        multi_ok = (
+            not software
+            and not ctrl_remote
+            and (rsid is None or (rpol.multi_channel and rpol.a_bits > 0))
+            and (lsid is None or (lpol.multi_channel and lpol.a_bits > 0))
+        )
+        n_rails = min(
+            self.job.node_of(src_rank).n_rails,
+            self.job.node_of(dst_blk.rank).n_rails,
+        )
+        max_k = self._max_stripe_k(rpol if rsid is not None else lpol)
+        if unr.max_stripe_rails:
+            max_k = min(max_k, unr.max_stripe_rails)
+        stripes = plan_stripes(
+            src_blk.size,
+            n_rails,
+            threshold=unr.stripe_threshold,
+            multi_channel=multi_ok,
+            max_fragments=max_k,
+        )
+        k = len(stripes)
+        r_addends = submessage_addends(k, unr.n_bits) if rsid is not None else None
+        l_addends = submessage_addends(k, unr.n_bits) if lsid is not None else None
+        src_bytes = src_mr.slice(src_blk.offset, src_blk.size)
+        # The ordered Level-0 lane and the MPI fallback are already
+        # reliable (exactly-once, in order); only unordered RDMA
+        # fragments need the watchdog.
+        reliable = unr.reliability is not None and not software and not ctrl_remote
+
+        plans: List[StripePlan] = []
+        for st in stripes:
+            dst_view = dst_mr.slice(dst_blk.offset + st.offset, st.size)
+            view = None if (src_bytes is None or dst_view is None) else dst_view
+            remote_custom = local_custom = None
+            remote_add = local_action_add = local_done_add = None
+            if rsid is not None and not ctrl_remote:
+                if software or rpol.hw_offload:
+                    remote_add = (dst_node, rsid, r_addends[st.index])
+                else:
+                    remote_custom = encode_custom(rsid, r_addends[st.index], rpol)
+            if lsid is not None:
+                add = (src_node, lsid, l_addends[st.index])
+                if software:
+                    local_action_add = add
+                elif lpol.level == 0:
+                    local_done_add = add
+                elif lpol.hw_offload:
+                    local_action_add = add
+                else:
+                    local_custom = encode_custom(lsid, l_addends[st.index], lpol)
+            plans.append(
+                StripePlan(
+                    index=st.index, rail=st.rail, offset=st.offset, size=st.size,
+                    view=view,
+                    remote_custom=remote_custom, local_custom=local_custom,
+                    remote_add=remote_add,
+                    local_action_add=local_action_add,
+                    local_done_add=local_done_add,
+                )
+            )
+        return TransferOp(
+            kind="put",
+            src_rank=src_rank, dst_rank=dst_blk.rank,
+            src_node=src_node, dst_node=dst_node,
+            nbytes=src_blk.size,
+            local_blk=src_blk, remote_blk=dst_blk,
+            rsid=rsid, lsid=lsid,
+            software=software, ctrl_remote=ctrl_remote, reliable=reliable,
+            stripes=tuple(plans),
+            src_bytes=src_bytes,
+        )
+
+    def prepare_get(
+        self,
+        src_rank: int,
+        local_blk: "Blk",
+        remote_blk: "Blk",
+        rsid: Optional[int],
+        lsid: Optional[int],
+    ) -> TransferOp:
+        """Validate and plan one GET; returns a replayable descriptor."""
+        unr = self.unr
+        if local_blk.rank != src_rank:
+            raise UnrUsageError(f"get local BLK belongs to rank {local_blk.rank}")
+        if local_blk.size != remote_blk.size:
+            raise UnrUsageError(
+                f"size mismatch: local {local_blk.size}B vs remote {remote_blk.size}B"
+            )
+        if unr.sanitizer is not None:
+            unr.sanitizer.check_rma(
+                "get", src_rank, local_blk, remote_blk,
+                remote_sid=rsid, local_sid=lsid,
+            )
+        local_mr = unr._mr_of(local_blk)
+        remote_mr = unr._mr_of(remote_blk)
+        src_node = unr._node_index(src_rank)
+        remote_node = unr._node_index(remote_blk.rank)
+
+        software = getattr(unr.channel, "software_notify", False)
+        rpol = unr.get_remote_policy
+        lpol = unr.get_local_policy
+        ctrl_remote = rsid is not None and (
+            rpol.level == 0 or rsid >= unr.sid_capacity
+        ) and not software
+
+        remote_view = remote_mr.slice(remote_blk.offset, remote_blk.size)
+        local_view = local_mr.slice(local_blk.offset, local_blk.size)
+        virtual = remote_view is None or local_view is None
+        reliable = unr.reliability is not None and not software
+
+        remote_custom = local_custom = None
+        remote_add = local_action_add = local_done_add = None
+        if rsid is not None and not ctrl_remote:
+            if software or rpol.hw_offload:
+                remote_add = (remote_node, rsid, -1)
+            else:
+                remote_custom = encode_custom(rsid, -1, rpol)
+        if lsid is not None:
+            add = (src_node, lsid, -1)
+            if software or lpol.hw_offload:
+                local_action_add = add
+            elif lpol.level == 0:
+                # No local custom bits: apply the add when the read
+                # completes (post-completion callback).
+                local_done_add = add
+            else:
+                local_custom = encode_custom(lsid, -1, lpol)
+        stripe = StripePlan(
+            index=0, rail=0, offset=0, size=local_blk.size,
+            view=None if virtual else local_view,
+            remote_custom=remote_custom, local_custom=local_custom,
+            remote_add=remote_add,
+            local_action_add=local_action_add,
+            local_done_add=local_done_add,
+        )
+        return TransferOp(
+            kind="get",
+            src_rank=src_rank, dst_rank=remote_blk.rank,
+            src_node=src_node, dst_node=remote_node,
+            nbytes=local_blk.size,
+            local_blk=local_blk, remote_blk=remote_blk,
+            rsid=rsid, lsid=lsid,
+            software=software, ctrl_remote=ctrl_remote, reliable=reliable,
+            stripes=(stripe,),
+            fetch=None if virtual else (lambda: remote_view.copy()),
+        )
+
+    def prepare_ctrl(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        *,
+        payload: Any = None,
+        on_deliver: Optional[Callable[[Any], None]] = None,
+        nbytes: int = CTRL_BYTES,
+    ) -> TransferOp:
+        """An out-of-band control message (``send_ctl``, BLK exchange)."""
+        unr = self.unr
+        return TransferOp(
+            kind="ctrl",
+            src_rank=src_rank, dst_rank=dst_rank,
+            src_node=unr._node_index(src_rank),
+            dst_node=unr._node_index(dst_rank),
+            nbytes=nbytes,
+            payload=payload, on_deliver=on_deliver,
+        )
+
+    def _signal_ctrl_op(
+        self, src_rank: int, src_node: int, dst_rank: int, dst_node: int,
+        sid: int, addend: int,
+    ) -> TransferOp:
+        """The Level-0 scheme: an ordered message carrying ``(p, a)``."""
+        return TransferOp(
+            kind="ctrl",
+            src_rank=src_rank, dst_rank=dst_rank,
+            src_node=src_node, dst_node=dst_node,
+            nbytes=CTRL_BYTES,
+            ctrl_sid=sid, ctrl_addend=addend,
+        )
+
+    # -- post: the one pipeline ------------------------------------------
+    def post_op(self, op: TransferOp) -> Any:
+        """Post a prepared descriptor (non-blocking).
+
+        Every datapath terminates here: PUTs and GETs (direct or plan
+        replay), Level-0 control notifications, out-of-band control
+        messages, and the MPI fallback (whose channel this pipeline
+        posts into like any other).  On replay (``n_posts > 0``) the
+        sanitizer re-admits the operation — the arguments were validated
+        at prepare time, but a signal freed since must still be caught.
+        Returns the channel completion event for ctrl payload messages,
+        ``None`` otherwise (RMA completion is observed through signals).
+        """
+        unr = self.unr
+        if op.n_posts and unr.sanitizer is not None and op.kind in ("put", "get"):
+            unr.sanitizer.check_rma(
+                op.kind, op.src_rank, op.local_blk, op.remote_blk,
+                remote_sid=op.rsid, local_sid=op.lsid,
+            )
+        op.n_posts += 1
+        if op.kind == "put":
+            return self._post_put(op)
+        if op.kind == "get":
+            return self._post_get(op)
+        if op.kind == "ctrl":
+            if op.ctrl_sid is not None:
+                return self._post_signal_ctrl(op)
+            return self._post_payload_ctrl(op)
+        raise UnrUsageError(f"unknown transfer kind {op.kind!r}")
+
+    def _post_put(self, op: TransferOp) -> None:
+        unr = self.unr
+        env = self.env
+        unr.stats["puts"] += 1
+        unr.stats["fragments"] += len(op.stripes)
+        for sp in op.stripes:
+            if op.src_bytes is not None and sp.view is not None:
+                payload = op.src_bytes[sp.offset : sp.offset + sp.size].copy()
+            else:
+                payload = None
+            rtok = ltok = None
+            delivered = None
+            if op.reliable:
+                rtok = unr._next_token() if op.rsid is not None else None
+                ltok = unr._next_token() if op.lsid is not None else None
+                delivered = env.event()
+                deliver = self._first_delivery(sp.view, delivered)
+            elif sp.view is not None:
+                deliver = self._write_view(sp.view)
+            else:
+                deliver = None
+            post = self._put_poster(op, sp, payload, deliver, rtok, ltok)
+            if op.reliable:
+                first = self._live_rail(op.src_rank, op.dst_rank, sp.rail)
+                post(first)
+                self._watchdog(
+                    post, delivered, sp.size, op.src_rank, op.dst_rank,
+                    first, "PUT",
+                )
+            else:
+                post(sp.rail)
+        if op.ctrl_remote:
+            self.post_op(
+                self._signal_ctrl_op(
+                    op.src_rank, op.src_node, op.dst_rank, op.dst_node,
+                    op.rsid, -1,
+                )
+            )
+
+    def _put_poster(
+        self,
+        op: TransferOp,
+        sp: StripePlan,
+        payload: Any,
+        deliver: Optional[Callable[[Any], None]],
+        rtok: Optional[int],
+        ltok: Optional[int],
+    ) -> Callable[[int], Any]:
+        """The per-stripe post closure the watchdog retries with."""
+        ch = self.unr.channel
+
+        def post(rail: int) -> Any:
+            done = ch.put(
+                op.src_rank,
+                op.dst_rank,
+                sp.size,
+                payload=payload,
+                on_deliver=deliver,
+                remote_custom=sp.remote_custom,
+                local_custom=sp.local_custom,
+                remote_action=self._add_action(sp.remote_add, rtok),
+                local_action=self._add_action(sp.local_action_add, ltok),
+                rail=rail,
+                ordered=op.ctrl_remote,  # Level-0 data must stay ordered
+                remote_token=rtok,
+                local_token=ltok,
+            )
+            if sp.local_done_add is not None:
+                # Applied once per attempt; under retransmits the
+                # idempotence token keeps this a single add.
+                done.callbacks.append(self._add_callback(sp.local_done_add, ltok))
+            return done
+
+        return post
+
+    def _post_get(self, op: TransferOp) -> None:
+        unr = self.unr
+        env = self.env
+        ch = unr.channel
+        unr.stats["gets"] += 1
+        sp = op.stripes[0]
+        rtok = (
+            unr._next_token()
+            if (op.reliable and op.rsid is not None and not op.ctrl_remote)
+            else None
+        )
+        ltok = unr._next_token() if (op.reliable and op.lsid is not None) else None
+        delivered = None
+        if op.reliable:
+            delivered = env.event()
+            deliver = self._first_delivery(sp.view, delivered)
+        elif sp.view is None:
+            deliver = None
+        else:
+            deliver = self._write_view(sp.view)
+        remote_action = self._add_action(sp.remote_add, rtok)
+        local_action = self._add_action(sp.local_action_add, ltok)
+
+        def post(rail: int) -> Any:
+            done = ch.get(
+                op.src_rank,
+                op.dst_rank,
+                op.nbytes,
+                fetch=op.fetch,
+                on_deliver=deliver,
+                remote_custom=sp.remote_custom,
+                local_custom=sp.local_custom,
+                remote_action=remote_action,
+                local_action=local_action,
+                rail=rail,
+                remote_token=rtok,
+                local_token=ltok,
+            )
+            if not op.reliable:
+                if sp.local_done_add is not None:
+                    done.callbacks.append(self._add_callback(sp.local_done_add, ltok))
+                if op.ctrl_remote:
+                    # Notify the target after our read completed.
+                    done.callbacks.append(self._ctrl_callback(op))
+            return done
+
+        if op.reliable:
+            # Post-completion actions fire on *actual* delivery, exactly
+            # once, no matter how many attempts the watchdog makes.
+            if sp.local_done_add is not None:
+                delivered.callbacks.append(self._add_callback(sp.local_done_add, ltok))
+            if op.ctrl_remote:
+                delivered.callbacks.append(self._ctrl_callback(op))
+            first = self._live_rail(op.src_rank, op.dst_rank, 0)
+            post(first)
+            self._watchdog(
+                post, delivered, op.nbytes, op.src_rank, op.dst_rank,
+                first, "GET", round_trip=True,
+            )
+        else:
+            post(0)
+
+    def _post_signal_ctrl(self, op: TransferOp) -> None:
+        unr = self.unr
+        env = self.env
+        unr.stats["ctrl_msgs"] += 1
+        if unr.obs is not None:
+            unr.obs.event(
+                "unr.ctrl_fallback", track=f"rank{op.src_rank}",
+                dst=op.dst_rank, sid=op.ctrl_sid,
+            )
+        dst_nic = self.job.nic_of(op.dst_rank)
+        sid, addend = op.ctrl_sid, op.ctrl_addend
+        src_node, dst_node = op.src_node, op.dst_node
+
+        def deliver(_payload: Any) -> None:
+            rec = CompletionRecord(
+                kind="ctrl",
+                payload=(sid, addend),
+                src_node=src_node,
+                dst_node=dst_node,
+                complete_time=env.now,
+            )
+            env.process(dst_nic.cq.push(rec), name="ctrl-cqe")
+
+        unr.channel.put(
+            op.src_rank,
+            op.dst_rank,
+            CTRL_BYTES,
+            on_deliver=deliver,
+            ordered=True,
+        )
+
+    def _post_payload_ctrl(self, op: TransferOp) -> Any:
+        return self.unr.channel.put(
+            op.src_rank,
+            op.dst_rank,
+            op.nbytes,
+            payload=op.payload,
+            on_deliver=op.on_deliver,
+            ordered=True,
+        )
+
+    # -- delivery / add closures -----------------------------------------
+    def _first_delivery(self, view: Any, evt: Any) -> Callable[[Any], None]:
+        """First delivery wins; replicas and retransmit races must
+        neither rewrite the (possibly reused) buffer nor re-arm
+        anything."""
+        env = self.env
+
+        def deliver(data: Any, view: Any = view, evt: Any = evt) -> None:
+            if evt.triggered:
+                return
+            if view is not None and data is not None:
+                view[:] = data
+            evt.succeed(env.now)
+
+        return deliver
+
+    @staticmethod
+    def _write_view(view: Any) -> Callable[[Any], None]:
+        def deliver(data: Any, view: Any = view) -> None:
+            view[:] = data
+
+        return deliver
+
+    def _add_action(
+        self, spec: Optional[AddSpec], token: Optional[int]
+    ) -> Optional[Callable[[], None]]:
+        if spec is None:
+            return None
+        unr = self.unr
+        node, sid, addend = spec
+        return lambda: unr._apply_add(node, sid, addend, token=token)
+
+    def _add_callback(
+        self, spec: AddSpec, token: Optional[int]
+    ) -> Callable[[Any], None]:
+        unr = self.unr
+        node, sid, addend = spec
+        return lambda _e: unr._apply_add(node, sid, addend, token=token)
+
+    def _ctrl_callback(self, op: TransferOp) -> Callable[[Any], None]:
+        return lambda _e: self.post_op(
+            self._signal_ctrl_op(
+                op.src_rank, op.src_node, op.dst_rank, op.dst_node, op.rsid, -1
+            )
+        )
+
+    # -- reliability layer ------------------------------------------------
+    def _live_rail(self, src_rank: int, dst_rank: int, preferred: int) -> int:
+        """First rail at or after ``preferred`` whose NICs are alive on
+        both ends (rail failover).  Falls back to ``preferred`` when
+        every rail is dead — the watchdog will then raise."""
+        job = self.job
+        n_rails = min(
+            job.node_of(src_rank).n_rails,
+            job.node_of(dst_rank).n_rails,
+        )
+        for i in range(n_rails):
+            rail = (preferred + i) % n_rails
+            if not (job.nic_of(src_rank, rail).failed
+                    or job.nic_of(dst_rank, rail).failed):
+                if i and self.unr.obs is not None:
+                    self.unr.obs.count("reliability.rail_failovers")
+                return rail
+        return preferred % n_rails
+
+    def _delivery_estimate(self, nbytes: int, round_trip: bool = False) -> float:
+        """No-contention delivery time of one fragment (seconds); the
+        watchdog timeout scales from this so large stripes are not
+        declared lost while still serializing onto the wire."""
+        spec = self.job.cluster.spec.nic
+        est = spec.msg_overhead + spec.latency + nbytes / spec.bandwidth + spec.rx_overhead
+        if round_trip:
+            est += spec.msg_overhead + spec.latency
+        return est
+
+    def _watchdog(self, post: Callable[[int], Any], delivered: Any, nbytes: int,
+                  src_rank: int, dst_rank: int, first_rail: int, what: str,
+                  round_trip: bool = False) -> None:
+        """Guard one posted fragment: retransmit (with exponential
+        backoff, moving to the next live rail each attempt) until
+        ``delivered`` fires, else raise :class:`UnrTimeoutError`."""
+        unr = self.unr
+        rel = unr.reliability
+        env = self.env
+        base = rel.fragment_timeout(self._delivery_estimate(nbytes, round_trip))
+
+        def guard() -> Generator[Any, Any, None]:
+            rail = first_rail
+            t = base
+            for attempt in range(rel.max_retries + 1):
+                yield env.any_of([delivered, env.timeout(t)])
+                if delivered.triggered:
+                    return
+                if attempt == rel.max_retries:
+                    break
+                rail = self._live_rail(src_rank, dst_rank, rail + 1)
+                unr.stats["retransmits"] += 1
+                if unr.obs is not None:
+                    unr.obs.event(
+                        "reliability.retransmit", track=f"rank{src_rank}",
+                        what=what, attempt=attempt + 1, rail=rail, nbytes=nbytes,
+                    )
+                post(rail)
+                t = min(t * rel.backoff_factor, max(rel.max_backoff, base))
+            unr.stats["reliability_failures"] += 1
+            raise UnrTimeoutError(
+                f"{what} of {nbytes}B from rank {src_rank} to rank {dst_rank}: "
+                f"no delivery after {rel.max_retries} retransmits "
+                f"(last timeout {t / US:.1f} us)"
+            )
+
+        env.process(guard(), name=f"unr-watchdog-{what.lower()}")
+
+    def _max_stripe_k(self, policy: LevelPolicy) -> int:
+        """Largest stripe count whose addends fit the policy's bits."""
+        if policy.a_bits == 0:
+            return 1
+        budget = policy.a_bits - 2 - self.unr.n_bits
+        if budget <= 0:
+            return 1
+        return min(1 << budget, 1 << 16)
+
+
+class ProgressEngine:
+    """One node's progress core: batched CQ sweeps, handler dispatch.
+
+    The paper's per-node polling thread (§IV-C).  One sweeper coroutine
+    per NIC blocks on that rail's completion queue; each wakeup applies
+    the triggering record after the configured dispatch delay, then
+    drains whatever else accumulated in one batched sweep (a real
+    polling thread processes the CQ in batches).  Records dispatch to
+    the handler registered for their ``kind`` — the library registers
+    MMAS custom-bit decoding for RMA completions and the (p, a) apply
+    for Level-0 ctrl messages — with ``default_handler`` as the
+    catch-all.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        config: PollingConfig,
+        default_handler: Optional[Callable[[int, CompletionRecord], None]] = None,
+        *,
+        obs: Optional["Recorder"] = None,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.config = config
+        self.default_handler = default_handler
+        self._handlers: Dict[str, Callable[[int, CompletionRecord], None]] = {}
+        self.obs = obs
+        self.n_dispatched = 0
+        self.total_delay = 0.0
+        if config.mode == "none":
+            return
+        if config.mode == "reserved":
+            node.cpu.reserve(config.reserved_cores)
+        elif config.cpu_duty > 0:
+            node.cpu.add_polling_load(config.cpu_duty)
+        for nic in node.nics:
+            env.process(
+                self._sweep_loop(nic), name=f"progress-n{node.index}-r{nic.index}"
+            )
+
+    def register(
+        self, kind: str, handler: Callable[[int, CompletionRecord], None]
+    ) -> None:
+        """Dispatch records of ``kind`` to ``handler(node_index, record)``."""
+        self._handlers[kind] = handler
+
+    def _sweep_loop(self, nic: Any) -> Generator[Any, Any, None]:
+        delay = self.config.dispatch_delay
+        while True:
+            record = yield nic.cq.get()
+            if self.obs is not None:
+                self.obs.count("core.poll_sweeps")
+            # A stalled CQ (fault injection) holds its records back: the
+            # progress engine is wedged until the stall window passes.
+            while nic.cq.is_stalled:
+                yield self.env.timeout(nic.cq.stalled_until - self.env.now)
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self._dispatch(record)
+            # Drain whatever else arrived during the delay in one
+            # batched sweep — no extra simulator events per record.
+            for extra in nic.cq.poll_batch():
+                self._dispatch(extra)
+
+    def _dispatch(self, record: CompletionRecord) -> None:
+        self.n_dispatched += 1
+        delay = self.env.now - record.complete_time
+        self.total_delay += delay
+        if self.obs is not None:
+            self.obs.count("core.poll_dispatches")
+            self.obs.observe("core.poll_dispatch_delay_us", delay / US)
+        handler = self._handlers.get(record.kind, self.default_handler)
+        if handler is not None:
+            handler(self.node.index, record)
+
+
+#: Backwards-compatible name: the progress core grew out of the old
+#: per-subsystem ``PollingEngine`` dispatch loops.
+PollingEngine = ProgressEngine

@@ -3,7 +3,16 @@
 ``UNR_RMA_Plan()`` records a series of PUT/GET before entering the main
 loop of the application; ``UNR_Plan_Start()`` re-executes them.  Plans
 remove per-iteration descriptor building from the critical path and are
-the natural target of the MPI-conversion interfaces (Code 3)."""
+the natural target of the MPI-conversion interfaces (Code 3).
+
+The first ``start()`` prepares one
+:class:`~repro.core.engine.TransferOp` per recorded operation through
+the unified transfer engine — argument checks, signal-id resolution and
+stripe planning run once — and every start (including the first)
+replays the cached descriptors through
+:meth:`~repro.core.engine.TransferEngine.post_op`, which re-admits each
+op with the sanitizer so a signal freed between iterations is still
+caught."""
 
 from __future__ import annotations
 
@@ -15,6 +24,7 @@ from .memory import Blk
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .api import UnrEndpoint
+    from .engine import TransferOp
 
 __all__ = ["RmaPlan", "PlannedOp"]
 
@@ -36,6 +46,7 @@ class RmaPlan:
     def __init__(self, endpoint: "UnrEndpoint") -> None:
         self.endpoint = endpoint
         self._ops: List[PlannedOp] = []
+        self._prepared: Optional[List["TransferOp"]] = None
         self.n_starts = 0
         self.freed = False
         self._t_build = endpoint.env.now
@@ -47,12 +58,14 @@ class RmaPlan:
                    override: bool = False) -> "RmaPlan":
         """Record a PUT (chainable)."""
         self._ops.append(PlannedOp("put", src_blk, dst_blk, remote_sid, override))
+        self._prepared = None
         return self
 
     def record_get(self, local_blk: Blk, remote_blk: Blk, *, remote_sid: Optional[int] = None,
                    override: bool = False) -> "RmaPlan":
         """Record a GET (chainable)."""
         self._ops.append(PlannedOp("get", local_blk, remote_blk, remote_sid, override))
+        self._prepared = None
         return self
 
     def merge(self, other: "RmaPlan") -> "RmaPlan":
@@ -60,6 +73,7 @@ class RmaPlan:
         if other.endpoint is not self.endpoint:
             raise ValueError("cannot merge plans from different endpoints")
         self._ops.extend(other._ops)
+        self._prepared = None
         return self
 
     def free(self) -> None:
@@ -102,14 +116,21 @@ class RmaPlan:
                 track, "unr.plan.start", cat="core",
                 ops=len(self._ops), n_starts=self.n_starts,
             )
-        for op in self._ops:
-            kwargs = {}
-            if op.has_remote_override:
-                kwargs["remote_sid"] = op.remote_sid
-            if op.kind == "put":
-                ep.put(op.src, op.dst, **kwargs)
-            else:
-                ep.get(op.src, op.dst, **kwargs)
+        engine = ep.unr.engine
+        if self._prepared is None:
+            # Prepared once: argument checks, sid resolution and stripe
+            # planning stay off the per-iteration critical path.
+            built: List["TransferOp"] = []
+            for op in self._ops:
+                rsid = op.remote_sid if op.has_remote_override else op.dst.signal_sid
+                lsid = op.src.signal_sid
+                if op.kind == "put":
+                    built.append(engine.prepare_put(ep.rank, op.src, op.dst, rsid, lsid))
+                else:
+                    built.append(engine.prepare_get(ep.rank, op.src, op.dst, rsid, lsid))
+            self._prepared = built
+        for top in self._prepared:
+            engine.post_op(top)
         if handle is not None:
             handle.end()
 

@@ -1,8 +1,8 @@
-"""Polling engine: drains NIC completion queues and applies MMAS adds.
+"""Polling-thread configuration (paper §IV-C).
 
 In UNR support levels 0–3 a per-node polling thread retrieves events
-from the NICs and executes ``*p += a`` against the node's signal table
-(paper §IV-C).  The thread has a cost, reproduced here with two knobs:
+from the NICs and executes ``*p += a`` against the node's signal table.
+The thread has a cost, reproduced here with two knobs:
 
 * **notification delay** — an event applied ``delay`` after it lands in
   the CQ (half the polling interval on average);
@@ -14,20 +14,20 @@ from the NICs and executes ``*p += a`` against the node's signal table
 fewer compute cores); ``mode='none'`` runs no thread at all — only
 correct for Level-4 hardware offload or the software-notified MPI
 fallback.
+
+The thread itself is :class:`repro.core.engine.ProgressEngine`, the
+per-node progress core of the unified transfer engine; this module only
+defines its knobs.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
-from ..netsim import CompletionRecord, Node, US
-from ..sim import Environment
+from ..units import US
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..obs import Recorder
-
-__all__ = ["PollingConfig", "PollingEngine"]
+__all__ = ["PollingConfig"]
 
 
 @dataclass(frozen=True)
@@ -54,8 +54,25 @@ class PollingConfig:
     def __post_init__(self) -> None:
         if self.mode not in ("busy", "reserved", "interval", "none"):
             raise ValueError(f"unknown polling mode {self.mode!r}")
-        if self.mode == "interval" and self.interval_us <= 0:
-            raise ValueError("interval_us must be positive")
+        if self.mode == "interval":
+            if self.interval_us <= 0:
+                raise ValueError("interval_us must be positive")
+            if self.poll_cost_us > self.interval_us:
+                # The duty cycle poll_cost/interval would exceed 1: the
+                # thread cannot finish one sweep before the next is due,
+                # so it degenerates into busy polling.  cpu_duty clamps
+                # at the busy-thread interference — say so instead of
+                # silently under-reporting the configured cost.
+                warnings.warn(
+                    f"interval polling with poll_cost_us="
+                    f"{self.poll_cost_us} > interval_us={self.interval_us}: "
+                    "the sweep never finishes before the next is due; "
+                    "cpu_duty saturates at busy_interference "
+                    f"({self.busy_interference}) — use mode='busy' (or a "
+                    "longer interval) to make the cost explicit",
+                    UserWarning,
+                    stacklevel=3,
+                )
 
     @property
     def dispatch_delay(self) -> float:
@@ -74,59 +91,3 @@ class PollingConfig:
         if self.mode == "busy":
             return self.busy_interference
         return min(1.0, self.poll_cost_us / self.interval_us) * self.busy_interference
-
-
-class PollingEngine:
-    """One node's polling thread: per-NIC dispatcher coroutines."""
-
-    def __init__(
-        self,
-        env: Environment,
-        node: Node,
-        config: PollingConfig,
-        handler: Callable[[int, CompletionRecord], None],
-        *,
-        obs: Optional["Recorder"] = None,
-    ) -> None:
-        self.env = env
-        self.node = node
-        self.config = config
-        self.handler = handler
-        self.obs = obs
-        self.n_dispatched = 0
-        self.total_delay = 0.0
-        if config.mode == "none":
-            return
-        if config.mode == "reserved":
-            node.cpu.reserve(config.reserved_cores)
-        elif config.cpu_duty > 0:
-            node.cpu.add_polling_load(config.cpu_duty)
-        for nic in node.nics:
-            env.process(self._dispatch_loop(nic), name=f"poll-n{node.index}-r{nic.index}")
-
-    def _dispatch_loop(self, nic: Any) -> Generator[Any, Any, None]:
-        delay = self.config.dispatch_delay
-        while True:
-            record = yield nic.cq.get()
-            if self.obs is not None:
-                self.obs.count("core.poll_sweeps")
-            # A stalled CQ (fault injection) holds its records back: the
-            # progress engine is wedged until the stall window passes.
-            while nic.cq.is_stalled:
-                yield self.env.timeout(nic.cq.stalled_until - self.env.now)
-            if delay > 0:
-                yield self.env.timeout(delay)
-            self._apply(record)
-            # Drain whatever else arrived during the delay in one sweep
-            # (a real polling thread processes the CQ in batches).
-            for extra in nic.cq.poll_batch():
-                self._apply(extra)
-
-    def _apply(self, record: CompletionRecord) -> None:
-        self.n_dispatched += 1
-        delay = self.env.now - record.complete_time
-        self.total_delay += delay
-        if self.obs is not None:
-            self.obs.count("core.poll_dispatches")
-            self.obs.observe("core.poll_dispatch_delay_us", delay / US)
-        self.handler(self.node.index, record)

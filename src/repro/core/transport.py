@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from ..units import US
+
 __all__ = [
     "Stripe",
     "plan_stripes",
@@ -23,8 +25,6 @@ __all__ = [
 
 DEFAULT_STRIPE_THRESHOLD = 64 * 1024
 MIN_FRAGMENT = 8 * 1024
-
-_US = 1e-6
 
 
 @dataclass(frozen=True)
@@ -60,12 +60,12 @@ class ReliabilityConfig:
     @property
     def timeout(self) -> float:
         """Base timeout in seconds."""
-        return self.timeout_us * _US
+        return self.timeout_us * US
 
     @property
     def max_backoff(self) -> float:
         """Backoff ceiling in seconds."""
-        return self.max_backoff_us * _US
+        return self.max_backoff_us * US
 
     def fragment_timeout(self, estimate: float) -> float:
         """Timeout in seconds for a fragment whose no-contention

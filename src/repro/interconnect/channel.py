@@ -5,6 +5,11 @@ payloads are validated against the interface's :class:`Capability`
 widths (too-wide payloads raise :class:`ChannelError` — the UNR
 transport layer must encode within platform limits; that is the whole
 point of the support levels).
+
+Channels sit below the unified transfer engine: every PUT/GET/ctrl
+post reaches :meth:`RmaChannel.put` / :meth:`RmaChannel.get` through
+:meth:`repro.core.engine.TransferEngine.post_op`, which owns stripe
+planning, rail selection and retransmission above this layer.
 """
 
 from __future__ import annotations
@@ -101,7 +106,6 @@ class RmaChannel:
         ``remote_token``/``local_token`` tag the CQ entries for
         duplicate suppression when the reliability layer retransmits.
         """
-        cap = self.capability
         if remote_action is None or not self.hw_atomic_offload():
             self.check_payload_width(remote_custom, "put_remote")
         if local_action is None or not self.hw_atomic_offload():

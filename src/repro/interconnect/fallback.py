@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from ..netsim import US
+from ..units import US
 from ..runtime import Job
 from ..sim import Event
 from .capabilities import Capability

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..netsim import US
+from ..units import US
 from ..sim import AllOf
 from .world import Comm, MpiError, Phantom
 

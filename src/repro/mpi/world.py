@@ -20,7 +20,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..netsim import US
+from ..units import US
 from ..runtime import Job
 from ..sim import AllOf, Environment, Event, FilterStore
 from .config import MpiConfig

@@ -46,7 +46,7 @@ from typing import Callable, Optional, Set, Tuple
 import numpy as np
 
 from .nic import CompletionRecord, Nic
-from .spec import US
+from ..units import US
 
 __all__ = ["RailFailure", "CqStall", "FaultSpec", "FaultInjector"]
 

@@ -48,8 +48,12 @@ class CompletionRecord:
     """One completion-queue entry.
 
     ``kind`` is one of ``put_local``, ``put_remote``, ``get_local``,
-    ``get_remote`` or ``msg`` (plain two-sided style delivery used by the
-    MPI fallback channel).  ``custom`` is the raw custom-bits payload.
+    ``get_remote``, ``ctrl`` (Level-0 control-channel delivery carrying a
+    ``(sid, addend)`` payload) or ``msg`` (plain two-sided style delivery
+    used by the MPI fallback channel).  ``custom`` is the raw custom-bits
+    payload.  Records are drained by the per-node
+    :class:`~repro.core.engine.ProgressEngine`, which routes each kind to
+    its registered handler.
     """
 
     kind: str
@@ -71,8 +75,11 @@ class CompletionQueue:
 
     ``push`` is a *process step*: it blocks (backpressure) while the
     queue is full, which is how an un-polled NIC degrades — exactly the
-    failure mode the polling thread (levels 0–3) and the Level-4
-    hardware offload exist to prevent.
+    failure mode the progress engine's sweep loops (levels 0–3) and the
+    Level-4 hardware offload exist to prevent.  Draining (``get`` /
+    ``poll`` / ``poll_batch``) is reserved to
+    :class:`~repro.core.engine.ProgressEngine`; unrlint rule UNR007
+    flags any other caller.
     """
 
     def __init__(self, env: Environment, depth: int):

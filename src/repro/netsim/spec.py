@@ -9,10 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["NicSpec", "FabricSpec", "NodeSpec", "ClusterSpec", "GBPS", "US"]
+from ..units import GBPS, US
 
-GBPS = 1e9 / 8.0  # bytes per second per Gbit/s
-US = 1e-6  # seconds per microsecond
+__all__ = ["NicSpec", "FabricSpec", "NodeSpec", "ClusterSpec", "GBPS", "US"]
 
 
 @dataclass(frozen=True)

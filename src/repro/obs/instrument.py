@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any, Dict
 
 from ..netsim.nic import Nic
 from ..netsim.trace import TraceRecord
+from ..units import US
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .recorder import Recorder
@@ -53,7 +54,7 @@ def _wrap_nic(recorder: "Recorder", nic: Nic) -> None:
         def deliver(payload: Any) -> None:
             rec.deliver_time = nic.env.now
             recorder.observe(
-                "net.frag_latency_us", (rec.deliver_time - rec.post_time) * 1e6
+                "net.frag_latency_us", (rec.deliver_time - rec.post_time) / US
             )
             if on_deliver is not None:
                 on_deliver(payload)
@@ -73,7 +74,7 @@ def _wrap_nic(recorder: "Recorder", nic: Nic) -> None:
         def deliver(payload: Any) -> None:
             rec.deliver_time = nic.env.now
             recorder.observe(
-                "net.frag_latency_us", (rec.deliver_time - rec.post_time) * 1e6
+                "net.frag_latency_us", (rec.deliver_time - rec.post_time) / US
             )
             if on_deliver is not None:
                 on_deliver(payload)
@@ -97,7 +98,7 @@ def _collect_net(cluster: Any) -> Dict[str, float]:
             out[pre + "cq_pushes"] = nic.cq.n_pushed
             out[pre + "cq_high_water"] = nic.cq.high_water
             out[pre + "cq_overflow_stalls"] = nic.cq.n_overflow_stalls
-            out[pre + "cq_stall_us"] = nic.cq.stall_time * 1e6
+            out[pre + "cq_stall_us"] = nic.cq.stall_time / US
     return out
 
 

@@ -1,0 +1,19 @@
+"""Shared engineering-unit constants.
+
+Specs and configs across the reproduction are written in engineering
+units (Gbit/s, microseconds) and converted to SI (bytes/second,
+seconds) at one well-known rate.  These constants used to be duplicated
+per-layer (``US`` in :mod:`repro.netsim.spec`, a private ``_US`` in
+:mod:`repro.core.transport`); they live here once so a unit bug cannot
+be fixed in one copy and not the other.
+
+``repro.netsim`` re-exports ``US``/``GBPS`` for backwards
+compatibility.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GBPS", "US"]
+
+GBPS = 1e9 / 8.0  # bytes per second per Gbit/s
+US = 1e-6  # seconds per microsecond

@@ -1,0 +1,16 @@
+"""Fixture: CQ draining outside the progress engine (UNR007 x3).
+
+``cq.push`` is the producer side and stays legal everywhere.
+"""
+
+
+def side_poller(nic):
+    rec = nic.cq.poll()
+    batch = nic.cq.poll_batch(limit=4)
+    return rec, batch
+
+
+def blocking_drain(env, node):
+    record = yield node.nic(0).cq.get()
+    yield from node.nic(0).cq.push(record)  # producing is fine
+    return record

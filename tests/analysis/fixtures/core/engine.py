@@ -1,0 +1,9 @@
+"""Fixture standing in for the progress engine: CQ draining IS allowed
+in core/engine.py — it is the one registered consumer."""
+
+
+def sweep(nic, dispatch):
+    record = yield nic.cq.get()
+    dispatch(record)
+    for extra in nic.cq.poll_batch():
+        dispatch(extra)

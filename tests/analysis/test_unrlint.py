@@ -59,6 +59,16 @@ def test_unr006_flags_wallclock_in_obs_scope():
     assert all("observability layer" in f.message for f in findings)
 
 
+def test_unr007_flags_cq_drain_outside_engine():
+    findings = lint_fixture("bad_unr007.py")
+    assert rules_of(findings) == ["UNR007"]
+    # poll, poll_batch, blocking get — but never cq.push (the producer).
+    assert len(findings) == 3
+    assert {f.message.split("(")[0] for f in findings} == {
+        "cq.poll", "cq.poll_batch", "cq.get",
+    }
+
+
 # -- per-rule: must NOT trigger ----------------------------------------------
 
 @pytest.mark.parametrize(
@@ -71,6 +81,7 @@ def test_unr006_flags_wallclock_in_obs_scope():
         "sim/core.py",  # heapq allowed in the kernel path
         "ok_unr005.py",
         "obs/ok_unr006.py",
+        "core/engine.py",  # CQ draining allowed in the progress engine
     ],
 )
 def test_clean_fixture(fixture):

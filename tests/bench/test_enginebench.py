@@ -1,0 +1,84 @@
+"""Engine micro-benchmark: schema, determinism and the datapath-cost gate."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    ENGINE_BENCH_SCHEMA,
+    engine_bench,
+    validate_engine_bench,
+    validate_engine_bench_file,
+    write_engine_bench,
+)
+
+#: Pre-refactor datapath cost of the ping-pong workload: 280 simulator
+#: events for 12 puts.  The unified engine must not exceed it.
+BASELINE_EVENTS_PER_PUT = 280 / 12
+
+
+@pytest.fixture(scope="module")
+def record():
+    return engine_bench("th-xy", size=65536, iters=6, seed=2024)
+
+
+def test_record_validates_clean(record):
+    assert record["schema"] == ENGINE_BENCH_SCHEMA
+    assert validate_engine_bench(record) == []
+
+
+def test_both_datapaths_measured(record):
+    put, get = record["paths"]["put"], record["paths"]["get"]
+    assert put["ops"] == 12  # 6 iters, both directions
+    assert get["ops"] == 6
+    assert put["sim_events"] > 0 and get["sim_events"] > 0
+    assert put["ops_per_sim_sec"] > 0 and get["ops_per_sim_sec"] > 0
+    assert put["fingerprint"] != get["fingerprint"]
+
+
+def test_events_per_put_no_worse_than_baseline(record):
+    """The regression gate: the unified post_op pipeline must not cost
+    more simulator events per PUT than the pre-engine datapath did."""
+    assert record["sim_events_per_put"] <= BASELINE_EVENTS_PER_PUT + 1e-9
+
+
+def test_bench_is_deterministic(record):
+    again = engine_bench("th-xy", size=65536, iters=6, seed=2024)
+    assert again == record
+
+
+def test_write_and_validate_file(tmp_path, record):
+    path = str(tmp_path / "BENCH_engine.json")
+    write_engine_bench(record, path)
+    validate_engine_bench_file(path)
+    assert json.load(open(path))["name"] == "engine_bench"
+
+
+def test_validator_rejects_malformed(record):
+    assert validate_engine_bench([]) == ["engine bench record must be an object"]
+    broken = dict(record, schema="repro.bench.engine/0")
+    assert any("schema" in e for e in validate_engine_bench(broken))
+    broken = dict(record, paths={"put": record["paths"]["put"]})
+    assert any("paths.get" in e for e in validate_engine_bench(broken))
+    bad_put = dict(record["paths"]["put"], sim_events=0)
+    broken = dict(record, paths=dict(record["paths"], put=bad_put))
+    assert any("sim_events" in e for e in validate_engine_bench(broken))
+    broken = dict(record, sim_events_per_put="fast")
+    assert any("sim_events_per_put" in e for e in validate_engine_bench(broken))
+
+
+def test_cli_engine_bench(tmp_path, capsys):
+    from repro.cli import main
+
+    out = str(tmp_path / "BENCH_engine.json")
+    assert main(["engine-bench", "--iters", "3", "--out", out]) == 0
+    validate_engine_bench_file(out)
+    assert "sim events/op" in capsys.readouterr().out
+
+
+def test_cli_engine_bench_gate_fails_when_exceeded(tmp_path):
+    from repro.cli import main
+
+    out = str(tmp_path / "BENCH_engine.json")
+    assert main(["engine-bench", "--iters", "3", "--out", out,
+                 "--max-events-per-put", "1"]) == 1

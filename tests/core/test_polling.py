@@ -1,8 +1,10 @@
-"""Unit tests for the polling engine (`repro.core.polling`)."""
+"""Unit tests for the polling config (`repro.core.polling`) and the
+per-node progress core (`repro.core.engine.ProgressEngine`)."""
 
 import pytest
 
-from repro.core.polling import PollingConfig, PollingEngine
+from repro.core.engine import PollingEngine, ProgressEngine
+from repro.core.polling import PollingConfig
 from repro.netsim import Cluster, ClusterSpec, CompletionRecord, NicSpec, NodeSpec
 from repro.sim import Environment
 
@@ -21,6 +23,23 @@ def test_config_validation():
         PollingConfig(mode="turbo")
     with pytest.raises(ValueError):
         PollingConfig(mode="interval", interval_us=0)
+
+
+def test_interval_overload_warns_instead_of_silently_clamping():
+    """poll_cost_us > interval_us means the duty cycle would exceed 1:
+    cpu_duty saturates, and the config must say so out loud."""
+    with pytest.warns(UserWarning, match="poll_cost_us"):
+        cfg = PollingConfig(mode="interval", interval_us=1.0, poll_cost_us=4.0)
+    assert cfg.cpu_duty == pytest.approx(cfg.busy_interference)
+
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        ok = PollingConfig(mode="interval", interval_us=5.0, poll_cost_us=0.5)
+        # Busy mode with a huge poll cost is explicit, not a misconfig.
+        PollingConfig(mode="busy", poll_cost_us=4.0)
+    assert ok.cpu_duty < ok.busy_interference
 
 
 def test_dispatch_delay_by_mode():
@@ -110,3 +129,36 @@ def test_engine_batches_backlog():
     assert len(times) == 10
     # All ten applied at the same poll instant (one sweep).
     assert max(times) - min(times) < 1e-9
+
+
+def test_engine_dispatches_by_registered_kind():
+    """Records route to the handler registered for their kind; anything
+    unregistered falls through to the default handler."""
+    env, node = make_node()
+    ctrl, rma, other = [], [], []
+    engine = ProgressEngine(env, node, PollingConfig(mode="busy"),
+                            lambda n, rec: other.append(rec.kind))
+    engine.register("ctrl", lambda n, rec: ctrl.append(rec.payload))
+    engine.register("put_remote", lambda n, rec: rma.append(rec.custom))
+
+    def feed(env):
+        yield from node.nic(0).cq.push(
+            CompletionRecord(kind="put_remote", custom=7, complete_time=env.now)
+        )
+        yield from node.nic(0).cq.push(
+            CompletionRecord(kind="ctrl", payload=(3, -1), complete_time=env.now)
+        )
+        yield from node.nic(0).cq.push(
+            CompletionRecord(kind="msg", complete_time=env.now)
+        )
+
+    env.process(feed(env))
+    env.run(until=1e-3)
+    assert rma == [7]
+    assert ctrl == [(3, -1)]
+    assert other == ["msg"]
+    assert engine.n_dispatched == 3
+
+
+def test_polling_engine_alias_is_progress_engine():
+    assert PollingEngine is ProgressEngine

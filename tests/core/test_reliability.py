@@ -286,12 +286,12 @@ def test_rail_failover_mid_flight():
 
 def test_live_rail_skips_failed():
     job, unr, _ = make_unr(nics=2, reliability=True)
-    ep = unr.endpoint(0)
-    assert ep._live_rail(1, 0) == 0
+    engine = unr.engine
+    assert engine._live_rail(0, 1, 0) == 0
     job.nic_of(1, 0).failed = True
-    assert ep._live_rail(1, 0) == 1
+    assert engine._live_rail(0, 1, 0) == 1
     job.nic_of(0, 1).failed = True  # rail 1 dead on *our* end too
-    assert ep._live_rail(1, 0) == 0  # nothing alive: fall back, watchdog raises
+    assert engine._live_rail(0, 1, 0) == 0  # nothing alive: fall back, watchdog raises
 
 
 def test_all_rails_dead_times_out():
