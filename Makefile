@@ -4,6 +4,7 @@
 #                      pytest configuration, what CI gates on)
 #   make test-all    - the full suite including the fault/stress soaks
 #   make test-slow   - only the slow soaks
+#   make test-chaos  - fault-domain resilience soak + BENCH_resilience.json
 #   make demo-faults - the fault-injection acceptance demo
 #   make trace       - observed trace demo: Perfetto JSON + bench record
 #   make bench-engine - unified-engine datapath micro-benchmark
@@ -15,7 +16,7 @@ PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 REPRO   = PYTHONPATH=src $(PYTHON) -m repro
 
-.PHONY: test test-fast test-all test-slow demo-faults trace bench-engine lint typecheck check
+.PHONY: test test-fast test-all test-slow test-chaos demo-faults trace bench-engine lint typecheck check
 
 test: test-fast
 
@@ -27,6 +28,12 @@ test-all:
 
 test-slow:
 	$(PYTEST) -q -m slow
+
+# The chaos soak: node-kill schedules on all four Table III platforms,
+# then the CLI run that writes the BENCH_resilience.json record.
+test-chaos:
+	$(PYTEST) -q -m chaos
+	$(REPRO) chaos --out BENCH_resilience.json
 
 demo-faults:
 	PYTHONPATH=src $(PYTHON) -m repro faults

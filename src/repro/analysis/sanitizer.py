@@ -30,7 +30,7 @@ structured :class:`SanitizerReport`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..interconnect.width import WidthViolation
 
@@ -136,6 +136,10 @@ class UnrSanitizer:
     def __init__(self, unr: "Unr") -> None:
         self.unr = unr
         self.report = SanitizerReport()
+        #: (node, sid) whose shortfall is *expected*: the drain protocol
+        #: cancelled a fragment owing this signal a tokenless Level-0
+        #: ctrl notification against a dead peer — no leak to report.
+        self._drained_sids: Set[Tuple[int, int]] = set()
 
     # ------------------------------------------------------------------
     def _now(self) -> float:
@@ -246,6 +250,13 @@ class UnrSanitizer:
             time=self._now(),
         )
 
+    def on_fragment_drained(self, node: int, sid: int) -> None:
+        """Drain-protocol hook: a cancelled fragment owed ``(node, sid)``
+        a notification that cannot be discharged through the idempotent
+        token path (tokenless Level-0 ctrl tail).  The mid-count this
+        leaves behind is accounted for, not leaked."""
+        self._drained_sids.add((node, sid))
+
     # -- finalize ------------------------------------------------------------
     def finalize(self) -> SanitizerReport:
         """End-of-job scan: leaked notifications, overflows, strays."""
@@ -261,6 +272,8 @@ class UnrSanitizer:
                         time=self._now(),
                     )
                 elif sig.mid_count:
+                    if (node, sid) in self._drained_sids:
+                        continue  # shortfall accounted by the drain protocol
                     self.report.add(
                         "leaked-notification",
                         f"signal node{node} sid{sid}",

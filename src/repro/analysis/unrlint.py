@@ -27,6 +27,10 @@ UNR007  CQ draining (``cq.get`` / ``cq.poll`` / ``cq.poll_batch``)
         outside ``core/engine.py`` — completion records must flow
         through the unified progress engine; a second drainer steals
         records and changes dispatch order
+UNR008  retry/backoff loops (``while`` loops that call ``timeout()``)
+        outside the reliability layer (``core/transport.py`` /
+        ``core/health.py``) — ad-hoc retry loops bypass the watchdog's
+        breaker feedback and dedup tokens
 ======= ==============================================================
 
 Suppression: append ``# unrlint: disable=UNR003`` (comma-separated ids,
@@ -111,6 +115,14 @@ RULES: Dict[str, Rule] = {
             "registered handlers are the one CQ consumer; a side drainer "
             "steals records and perturbs dispatch order",
         ),
+        Rule(
+            "UNR008",
+            "retry/backoff loop outside the reliability layer",
+            "let the transfer engine's watchdog retry (core/transport.py "
+            "config, core/health.py breakers) — a private retry loop skips "
+            "breaker feedback and idempotence tokens, so it can duplicate "
+            "notifications",
+        ),
     )
 }
 
@@ -147,7 +159,8 @@ class LintConfig:
     patterns report as UNR006 instead.  ``heapq_allowed_suffixes`` are
     ``/``-normalised path suffixes where UNR004 is permitted (the
     kernel itself); ``cq_allowed_suffixes`` likewise scope UNR007 to
-    the unified progress engine.
+    the unified progress engine, and ``retry_allowed_suffixes`` scope
+    UNR008 (retry loops) to the reliability layer.
     """
 
     select: Optional[FrozenSet[str]] = None
@@ -155,6 +168,10 @@ class LintConfig:
     obs_scopes: Tuple[str, ...] = ("obs",)
     heapq_allowed_suffixes: Tuple[str, ...] = ("sim/core.py",)
     cq_allowed_suffixes: Tuple[str, ...] = ("core/engine.py",)
+    retry_allowed_suffixes: Tuple[str, ...] = (
+        "core/transport.py",
+        "core/health.py",
+    )
 
     def enabled(self, rule_id: str) -> bool:
         return self.select is None or rule_id in self.select
@@ -253,13 +270,14 @@ def _attr_tail(node: ast.AST) -> List[str]:
 class _Visitor(ast.NodeVisitor):
     def __init__(self, path: str, config: LintConfig, in_wallclock_scope: bool,
                  heapq_allowed: bool, in_obs_scope: bool = False,
-                 cq_allowed: bool = False) -> None:
+                 cq_allowed: bool = False, retry_allowed: bool = False) -> None:
         self.path = path
         self.config = config
         self.in_wallclock_scope = in_wallclock_scope
         self.in_obs_scope = in_obs_scope
         self.heapq_allowed = heapq_allowed
         self.cq_allowed = cq_allowed
+        self.retry_allowed = retry_allowed
         self.findings: List[Finding] = []
         # alias -> canonical module ("random", "numpy", "numpy.random",
         # "time", "datetime", "heapq")
@@ -444,6 +462,30 @@ class _Visitor(ast.NodeVisitor):
                         return chain[-1]
         return None
 
+    # -- UNR008 --------------------------------------------------------------
+    def visit_While(self, node: ast.While) -> None:
+        if not self.retry_allowed:
+            sleeper = self._timeout_call(node.body)
+            if sleeper is not None:
+                self._flag(
+                    "UNR008", node,
+                    f"while-loop around {sleeper}() looks like a hand-rolled "
+                    "retry/backoff — retries belong to the reliability layer "
+                    "(watchdog + circuit breakers)",
+                )
+        self.generic_visit(node)
+
+    def _timeout_call(self, body: Sequence[ast.stmt]) -> Optional[str]:
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    chain = _attr_tail(sub.func)
+                    if chain and chain[-1] == "timeout":
+                        return ".".join(chain[-2:]) if len(chain) > 1 else chain[-1]
+                    if isinstance(sub.func, ast.Name) and sub.func.id == "timeout":
+                        return "timeout"
+        return None
+
     # -- UNR005 --------------------------------------------------------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
         broad = False
@@ -499,6 +541,11 @@ def _cq_allowed(path: str, config: LintConfig) -> bool:
     return any(norm.endswith(suffix) for suffix in config.cq_allowed_suffixes)
 
 
+def _retry_allowed(path: str, config: LintConfig) -> bool:
+    norm = _norm(path)
+    return any(norm.endswith(suffix) for suffix in config.retry_allowed_suffixes)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -526,6 +573,7 @@ def lint_source(
         heapq_allowed=_heapq_allowed(path, config),
         in_obs_scope=_in_obs_scope(path, config),
         cq_allowed=_cq_allowed(path, config),
+        retry_allowed=_retry_allowed(path, config),
     )
     visitor.visit(tree)
     per_line, per_file = _parse_suppressions(source)

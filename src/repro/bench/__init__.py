@@ -19,12 +19,22 @@ from .powerllel_bench import (
     powerllel_point,
 )
 from .report import format_series, format_size, format_table
+from .resilience import (
+    DEFAULT_CHAOS_FAULTS,
+    RESILIENCE_SCHEMA,
+    resilience_bench,
+    validate_resilience_bench,
+    validate_resilience_bench_file,
+    write_resilience_bench,
+)
 from .tracedemo import TRACE_DEMOS, trace_demo
 
 __all__ = [
+    "DEFAULT_CHAOS_FAULTS",
     "DEFAULT_FAULTS",
     "DEFAULT_SIZES",
     "ENGINE_BENCH_SCHEMA",
+    "RESILIENCE_SCHEMA",
     "FIG6_GRIDS",
     "FIG7_SERIES",
     "TRACE_DEMOS",
@@ -42,9 +52,13 @@ __all__ = [
     "mpi_rma_pingpong",
     "pingpong_with_calc",
     "powerllel_point",
+    "resilience_bench",
     "trace_demo",
     "unr_pingpong",
     "validate_engine_bench",
     "validate_engine_bench_file",
+    "validate_resilience_bench",
+    "validate_resilience_bench_file",
     "write_engine_bench",
+    "write_resilience_bench",
 ]

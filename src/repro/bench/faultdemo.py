@@ -80,12 +80,13 @@ def _one_run(
     iters: int,
     seed: int,
     observe: bool = False,
+    health: bool = False,
 ) -> Dict:
     plat = get_platform(platform)
     job = make_job(platform, n_nodes, seed=seed)
     injector = FaultInjector.attach(job.cluster, faults)
     trace = MessageTrace.attach(job.cluster)  # outermost: sees post-fault times
-    unr = Unr(job, plat.channel, reliability=True, observe=observe)
+    unr = Unr(job, plat.channel, reliability=True, observe=observe, health=health)
     result = _producer_consumer(unr, job, size=size, iters=iters)
     result.update(
         fingerprint=trace.fingerprint(),
@@ -93,6 +94,8 @@ def _one_run(
         faults=dict(injector.stats),
         retransmits=unr.stats["retransmits"],
         duplicates_suppressed=unr.stats["duplicates_suppressed"],
+        degraded_ops=unr.stats["degraded_ops"],
+        repromotions=unr.stats["repromotions"],
     )
     return result
 
@@ -107,13 +110,20 @@ def fault_demo(
     seed: int = 2024,
     fault_seed: Optional[int] = None,
     observe: bool = False,
+    health: bool = False,
 ) -> Dict:
     """Run the demo twice with one schedule; returns both runs plus the
-    ``identical`` (replay) and ``correct`` (delivery) verdicts."""
+    ``identical`` (replay) and ``correct`` (delivery) verdicts.
+
+    ``health=True`` arms the fault-domain resilience layer, required
+    for schedules that dark every rail of a node (``endpoint_down`` /
+    ``node_crash``) — without it such schedules defeat retransmission.
+    """
     spec = FaultSpec.parse(faults, seed=fault_seed)
     runs = [
         _one_run(spec, platform=platform, n_nodes=n_nodes,
-                 size=size, iters=iters, seed=seed, observe=observe)
+                 size=size, iters=iters, seed=seed, observe=observe,
+                 health=health)
         for _ in range(2)
     ]
     return {

@@ -1,0 +1,211 @@
+"""Chaos soak: endpoint failures, graceful degradation, recovery metrics.
+
+``resilience_bench`` runs the PR 1 producer→consumer stress stream
+under an *endpoint-level* fault schedule — the fabric noise of
+``repro.bench.faultdemo`` plus a window where every rail of the
+consumer's node is dark — on the four Table III platforms, with the
+reliability layer *and* the health layer armed.  Each platform's
+schedule runs twice and the record keeps the two verdicts that make
+the resilience story checkable in CI:
+
+1. **correct** — every message arrives intact even though the RMA
+   plane to the peer went fully dark mid-run (the ops degrade to the
+   MPI fallback channel and re-promote after recovery);
+2. **identical** — both runs of the seeded schedule produce the same
+   :class:`~repro.netsim.trace.MessageTrace` fingerprint (degradation
+   and re-promotion are deterministic).
+
+Per platform the record reports the resilience counters (degraded /
+recovered ops, breaker transitions, re-promotions) and nearest-rank
+percentiles of the time-to-recover distribution from
+:attr:`~repro.core.health.HealthMonitor.recovery_log`.  The result is
+the machine-readable ``BENCH_resilience.json`` record (schema
+``repro.bench.resilience/1``), validated in the same hand-rolled style
+as the other bench records.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core import Unr
+from ..netsim import FaultInjector, FaultSpec, MessageTrace
+from ..platforms import PLATFORMS, get_platform, make_job
+from .faultdemo import _producer_consumer
+
+__all__ = [
+    "RESILIENCE_SCHEMA",
+    "DEFAULT_CHAOS_FAULTS",
+    "resilience_bench",
+    "write_resilience_bench",
+    "validate_resilience_bench",
+    "validate_resilience_bench_file",
+]
+
+RESILIENCE_SCHEMA = "repro.bench.resilience/1"
+
+#: the PR 1 stress noise plus an endpoint-down window on the consumer:
+#: every rail of node 1 goes dark at t=40us and recovers at t=290us (the
+#: window is sized so even the slowest Table III platform observes at
+#: least one watchdog timeout while the endpoint is dark).
+DEFAULT_CHAOS_FAULTS = "drop=0.2,reorder=0.2,endpoint_down@t=40:dur=250:node=1"
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(int(len(sorted_values) * q + 0.999999) - 1, 0)
+    return float(sorted_values[min(rank, len(sorted_values) - 1)])
+
+
+def _one_run(
+    spec: FaultSpec,
+    *,
+    platform: str,
+    n_nodes: int,
+    size: int,
+    iters: int,
+    seed: int,
+) -> Dict[str, Any]:
+    plat = get_platform(platform)
+    job = make_job(platform, n_nodes, seed=seed)
+    injector = FaultInjector.attach(job.cluster, spec)
+    trace = MessageTrace.attach(job.cluster)  # outermost: sees post-fault times
+    unr = Unr(job, plat.channel, reliability=True, health=True)
+    result = _producer_consumer(unr, job, size=size, iters=iters)
+    recover_us = sorted(w["duration_us"] for w in unr.health.recovery_log)
+    result.update(
+        fingerprint=trace.fingerprint(),
+        faults=dict(injector.stats),
+        retransmits=int(unr.stats["retransmits"]),
+        recovered_ops=int(unr.stats["recovered_ops"]),
+        degraded_ops=int(unr.stats["degraded_ops"]),
+        degradations=int(unr.stats["degradations"]),
+        repromotions=int(unr.stats["repromotions"]),
+        breaker_opens=int(unr.stats["breaker_opens"]),
+        breaker_closes=int(unr.stats["breaker_closes"]),
+        fallback_posts=int(unr.stats["fallback_posts"]),
+        time_to_recover_us={
+            "p50": _percentile(recover_us, 0.50),
+            "p90": _percentile(recover_us, 0.90),
+            "p99": _percentile(recover_us, 0.99),
+            "max": recover_us[-1] if recover_us else 0.0,
+            "n": len(recover_us),
+        },
+    )
+    return result
+
+
+def resilience_bench(
+    platforms: Optional[Sequence[str]] = None,
+    *,
+    faults: str = DEFAULT_CHAOS_FAULTS,
+    n_nodes: int = 2,
+    size: int = 64 * 1024,
+    iters: int = 32,
+    seed: int = 2024,
+    fault_seed: int = 3,
+) -> Dict[str, Any]:
+    """Run the chaos soak; returns the ``BENCH_resilience.json`` record."""
+    if platforms is None:
+        platforms = list(PLATFORMS)
+    spec = FaultSpec.parse(faults, seed=fault_seed)
+    per_platform: Dict[str, Any] = {}
+    for platform in platforms:
+        runs = [
+            _one_run(spec, platform=platform, n_nodes=n_nodes,
+                     size=size, iters=iters, seed=seed)
+            for _ in range(2)
+        ]
+        per_platform[platform] = {
+            "runs": runs,
+            "identical": runs[0]["fingerprint"] == runs[1]["fingerprint"],
+            "correct": all(r["correct"] == iters for r in runs),
+            "degraded": all(r["degraded_ops"] > 0 for r in runs),
+        }
+    return {
+        "schema": RESILIENCE_SCHEMA,
+        "name": "resilience_bench",
+        "params": {
+            "faults": faults, "n_nodes": n_nodes, "size": size,
+            "iters": iters, "seed": seed, "fault_seed": fault_seed,
+        },
+        "platforms": per_platform,
+        "correct": all(p["correct"] for p in per_platform.values()),
+        "identical": all(p["identical"] for p in per_platform.values()),
+    }
+
+
+def write_resilience_bench(record: Dict[str, Any], path: str) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True, indent=2) + "\n")
+    return path
+
+
+def validate_resilience_bench(record: Any) -> List[str]:
+    """Schema-check a resilience-bench record; returns error strings."""
+    errors: List[str] = []
+    if not isinstance(record, dict):
+        return ["resilience bench record must be an object"]
+    if record.get("schema") != RESILIENCE_SCHEMA:
+        errors.append(
+            f"schema must be {RESILIENCE_SCHEMA!r}, got {record.get('schema')!r}"
+        )
+    if not isinstance(record.get("name"), str):
+        errors.append("name must be a string")
+    if not isinstance(record.get("params"), dict):
+        errors.append("params must be an object")
+    for verdict in ("correct", "identical"):
+        if not isinstance(record.get(verdict), bool):
+            errors.append(f"{verdict} must be a boolean")
+    platforms = record.get("platforms")
+    if not isinstance(platforms, dict) or not platforms:
+        return errors + ["platforms must be a non-empty object"]
+    for name, block in platforms.items():
+        where = f"platforms.{name}"
+        if not isinstance(block, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        for verdict in ("identical", "correct", "degraded"):
+            if not isinstance(block.get(verdict), bool):
+                errors.append(f"{where}.{verdict} must be a boolean")
+        runs = block.get("runs")
+        if not isinstance(runs, list) or len(runs) != 2:
+            errors.append(f"{where}.runs must be a list of 2 runs")
+            continue
+        for i, run in enumerate(runs):
+            rw = f"{where}.runs[{i}]"
+            if not isinstance(run, dict):
+                errors.append(f"{rw} must be an object")
+                continue
+            for metric in ("recovered_ops", "degraded_ops", "repromotions",
+                           "breaker_opens", "breaker_closes", "fallback_posts"):
+                value = run.get(metric)
+                if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                    errors.append(f"{rw}.{metric} must be a non-negative integer")
+            fp = run.get("fingerprint")
+            if not (isinstance(fp, str) and len(fp) == 64):
+                errors.append(f"{rw}.fingerprint must be a sha256 hex digest")
+            ttr = run.get("time_to_recover_us")
+            if not isinstance(ttr, dict):
+                errors.append(f"{rw}.time_to_recover_us must be an object")
+                continue
+            for key in ("p50", "p90", "p99", "max"):
+                value = ttr.get(key)
+                if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                    errors.append(f"{rw}.time_to_recover_us.{key} must be a non-negative number")
+            n = ttr.get("n")
+            if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+                errors.append(f"{rw}.time_to_recover_us.n must be a non-negative integer")
+    return errors
+
+
+def validate_resilience_bench_file(path: str) -> None:
+    """Load + validate a resilience JSON file; raises ``ValueError``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    errors = validate_resilience_bench(record)
+    if errors:
+        raise ValueError(f"{path}: " + "; ".join(errors))

@@ -9,6 +9,8 @@
     python -m repro fig6     --platform th-2a   # full Figure 6 bars
     python -m repro scaling  --platform th-2a   # Figure 7 series
     python -m repro faults                      # fault-injection demo
+    python -m repro faults --kill-node 1        # kill every rail of node 1
+    python -m repro chaos                       # resilience soak -> BENCH_resilience.json
     python -m repro trace stream                # observed demo + Perfetto JSON
     python -m repro engine-bench                # unified-engine datapath cost
     python -m repro lint src/repro              # unrlint determinism rules
@@ -97,6 +99,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=int, default=8)
     p.add_argument("--seed", type=int, default=2024)
     p.add_argument("--fault-seed", type=int, default=None)
+    p.add_argument("--kill-node", type=int, default=None, metavar="NODE",
+                   help="add an endpoint failure: every rail of NODE goes "
+                        "dark (arms the health layer; ops degrade to the "
+                        "MPI fallback channel)")
+    p.add_argument("--kill-at", type=float, default=60.0, metavar="US",
+                   help="failure onset in simulated us (default: 60)")
+    p.add_argument("--kill-duration", type=float, default=80.0, metavar="US",
+                   help="downtime window in us; 0 = permanent fail-stop "
+                        "node crash (default: 80)")
+
+    p = sub.add_parser(
+        "chaos",
+        help="resilience soak: endpoint-kill schedules on the Table III "
+             "platforms, degradation + recovery metrics -> BENCH_resilience.json",
+    )
+    p.add_argument("--platform", action="append", dest="platforms",
+                   metavar="NAME", default=None,
+                   help="platform to include (repeatable; default: all four)")
+    p.add_argument("--faults", type=_fault_spec, default=None, metavar="SPEC",
+                   help="override the chaos fault schedule")
+    p.add_argument("--size", type=int, default=65536)
+    p.add_argument("--iters", type=int, default=32)
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument("--fault-seed", type=int, default=3)
+    p.add_argument("--out", default="BENCH_resilience.json", metavar="PATH",
+                   help="machine-readable resilience record output")
 
     p = sub.add_parser("fig6", help="Figure 6: baseline vs UNR vs fallback")
     p.add_argument("--platform", default="th-2a")
@@ -149,7 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="unrlint: static determinism rules UNR001-UNR007 over Python sources",
+        help="unrlint: static determinism rules UNR001-UNR008 over Python sources",
     )
     p.add_argument("paths", nargs="*", default=["src/repro"],
                    help="files or directories to lint (default: src/repro)")
@@ -286,15 +314,29 @@ def cmd_powerllel(args) -> int:
 
 def cmd_faults(args) -> int:
     from .bench import DEFAULT_FAULTS, fault_demo
-    from .core import UnrTimeoutError
+    from .core import UnrPeerDeadError, UnrTimeoutError
 
     spec_text = args.faults or DEFAULT_FAULTS
+    health = args.kill_node is not None
+    if health:
+        if args.kill_duration > 0:
+            kill = (f"endpoint_down@t={args.kill_at}:dur={args.kill_duration}"
+                    f":node={args.kill_node}")
+        else:
+            kill = f"node_crash@t={args.kill_at}:node={args.kill_node}"
+        spec_text = f"{spec_text},{kill}" if spec_text else kill
     try:
         out = fault_demo(
             spec_text, platform=args.platform, n_nodes=args.nodes,
             size=args.size, iters=args.iters, seed=args.seed,
-            fault_seed=args.fault_seed,
+            fault_seed=args.fault_seed, health=health,
         )
+    except UnrPeerDeadError as exc:
+        print(f"Fault demo on {args.platform}: schedule {spec_text!r} "
+              f"killed the peer for good:\n  {exc}")
+        print("  verdict      PEER DEAD (permanent node crash: even the "
+              "fallback lane is down)")
+        return 1
     except UnrTimeoutError as exc:
         print(f"Fault demo on {args.platform}: schedule {spec_text!r} "
               f"defeated the reliability layer:\n  {exc}")
@@ -312,9 +354,47 @@ def cmd_faults(args) -> int:
           f"{r0['trace']['n_dropped']} dropped")
     print(f"  delivered    {r0['correct']}/{out['iters']} intact "
           f"(run 2: {r1['correct']}/{out['iters']})")
+    if health:
+        print(f"  resilience   degraded_ops={r0['degraded_ops']} "
+              f"repromotions={r0['repromotions']}")
     print(f"  replay       traces {'IDENTICAL' if out['identical'] else 'DIVERGED'} "
           f"({r0['fingerprint'][:16]}… vs {r1['fingerprint'][:16]}…)")
     ok = out["correct"] and out["identical"]
+    print("  verdict      " + ("OK" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def cmd_chaos(args) -> int:
+    from .bench import (
+        DEFAULT_CHAOS_FAULTS,
+        resilience_bench,
+        validate_resilience_bench,
+        write_resilience_bench,
+    )
+
+    faults = args.faults or DEFAULT_CHAOS_FAULTS
+    record = resilience_bench(
+        args.platforms, faults=faults, size=args.size, iters=args.iters,
+        seed=args.seed, fault_seed=args.fault_seed,
+    )
+    errors = validate_resilience_bench(record)
+    if errors:
+        print(f"chaos: record FAILED validation: {'; '.join(errors)}")
+        return 1
+    print(f"Chaos soak ({args.iters} x {args.size} B per platform):")
+    print(f"  schedule     {faults}")
+    for name, block in record["platforms"].items():
+        r = block["runs"][0]
+        ttr = r["time_to_recover_us"]
+        print(f"  {name:10s} correct={'yes' if block['correct'] else 'NO'} "
+              f"identical={'yes' if block['identical'] else 'NO'} "
+              f"degraded_ops={r['degraded_ops']} "
+              f"recovered_ops={r['recovered_ops']} "
+              f"repromotions={r['repromotions']} "
+              f"ttr_p50={ttr['p50']:.1f}us")
+    write_resilience_bench(record, args.out)
+    print(f"  -> {args.out}")
+    ok = record["correct"] and record["identical"]
     print("  verdict      " + ("OK" if ok else "FAILED"))
     return 0 if ok else 1
 
@@ -505,6 +585,7 @@ _COMMANDS = {
     "multinic": cmd_multinic,
     "powerllel": cmd_powerllel,
     "faults": cmd_faults,
+    "chaos": cmd_chaos,
     "trace": cmd_trace,
     "engine-bench": cmd_engine_bench,
     "fig6": cmd_fig6,

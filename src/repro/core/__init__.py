@@ -10,16 +10,27 @@ BLKs, PUT/GET and plans (:mod:`repro.core.api`).
 
 from .api import Unr, UnrEndpoint
 from .convert import alltoallv_convert, irecv_convert, isend_convert, sendrecv_convert
-from .engine import CTRL_BYTES, PollingEngine, ProgressEngine, StripePlan, TransferEngine, TransferOp
+from .engine import (
+    CTRL_BYTES,
+    FALLBACK_RAIL,
+    PollingEngine,
+    ProgressEngine,
+    StripePlan,
+    TransferEngine,
+    TransferOp,
+)
 from .errors import (
+    OpContext,
     UnrDegradeWarning,
     UnrError,
     UnrOverflowError,
+    UnrPeerDeadError,
     UnrSyncError,
     UnrSyncWarning,
     UnrTimeoutError,
     UnrUsageError,
 )
+from .health import CircuitBreaker, HealthConfig, HealthMonitor
 from .levels import LevelPolicy, decode_custom, encode_custom, max_signals, policy_for_channel
 from .memory import Blk, MemoryRegion
 from .plan import PlannedOp, RmaPlan
@@ -36,12 +47,17 @@ from .transport import (
 __all__ = [
     "Blk",
     "CTRL_BYTES",
+    "CircuitBreaker",
     "DEFAULT_N_BITS",
     "DEFAULT_STRIPE_THRESHOLD",
+    "FALLBACK_RAIL",
+    "HealthConfig",
+    "HealthMonitor",
     "LevelPolicy",
     "MASK64",
     "MIN_FRAGMENT",
     "MemoryRegion",
+    "OpContext",
     "PlannedOp",
     "PollingConfig",
     "PollingEngine",
@@ -58,6 +74,7 @@ __all__ = [
     "UnrEndpoint",
     "UnrError",
     "UnrOverflowError",
+    "UnrPeerDeadError",
     "UnrSyncError",
     "UnrSyncWarning",
     "UnrTimeoutError",

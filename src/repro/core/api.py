@@ -46,6 +46,7 @@ from ..runtime import Job
 from ..sim import FilterStore
 from ..units import US
 from .engine import CTRL_BYTES, ProgressEngine, TransferEngine
+from .health import HealthConfig, HealthMonitor
 from .errors import (
     UnrDegradeWarning,
     UnrOverflowError,
@@ -121,6 +122,20 @@ class Unr:
         ``None`` (the default) reads the ``UNR_OBSERVE`` environment
         variable.  Like the sanitizer, observation is passive: an armed
         run is trace-fingerprint-identical to a disarmed one.
+    health:
+        Arm the fault-domain resilience layer
+        (:class:`~repro.core.health.HealthMonitor`): per-``(src, dst,
+        rail)`` circuit breakers scored from watchdog timeouts and CQ
+        completions gate rail selection, and when the breakers leave no
+        live RMA rail to a peer, reliable ops transparently degrade to
+        the MPI fallback channel with identical notification-token
+        semantics — raising
+        :class:`~repro.core.errors.UnrPeerDeadError` only when the
+        fallback lane is dead too (fail-stop node crash).  ``True`` or
+        a :class:`~repro.core.health.HealthConfig` arms it; ``None``
+        (the default) reads the ``UNR_HEALTH`` environment variable.
+        Healthy armed runs are trace-fingerprint-identical to disarmed
+        ones (the breakers are passive until something fails).
     """
 
     def __init__(
@@ -138,6 +153,7 @@ class Unr:
         reliability: Union[ReliabilityConfig, bool, None] = None,
         sanitize: Optional[bool] = None,
         observe: Union[Recorder, bool, None] = None,
+        health: Union[HealthConfig, bool, None] = None,
     ) -> None:
         self.job = job
         self.env = job.env
@@ -147,6 +163,11 @@ class Unr:
             else:
                 channel = make_channel(channel, job)
         self.channel = channel
+        self._fallback_config = fallback_config
+        #: lazily-built degraded lane (reused when ``channel`` already is one)
+        self._fallback_channel: Optional[MpiFallbackChannel] = (
+            channel if isinstance(channel, MpiFallbackChannel) else None
+        )
         self.strict = strict
         self.stripe_threshold = stripe_threshold
         self.max_stripe_rails = max_stripe_rails
@@ -219,6 +240,18 @@ class Unr:
                 lambda: {f"core.{k}": float(stats[k]) for k in sorted(stats)}
             )
 
+        if health is None:
+            health = os.environ.get("UNR_HEALTH", "").lower() in (
+                "1", "true", "yes", "on",
+            )
+        if health is True:
+            health = HealthConfig()
+        elif health is False:
+            health = None
+        self.health: Optional[HealthMonitor] = (
+            HealthMonitor(self, health) if health is not None else None
+        )
+
         #: the unified transfer engine: every put/get/ctrl/fallback post
         #: flows through its :meth:`~repro.core.engine.TransferEngine.post_op`.
         self.engine = TransferEngine(self)
@@ -230,6 +263,7 @@ class Unr:
                 eng = ProgressEngine(
                     self.env, node, self.polling_config,
                     self._handle_unknown_record, obs=self.obs,
+                    health=self.health,
                 )
                 for kind in self._record_policies:
                     eng.register(kind, self._handle_rma_record)
@@ -377,14 +411,49 @@ class Unr:
             raise UnrOverflowError(message)
         warnings.warn(message, UnrSyncWarning, stacklevel=4)
 
-    def finalize(self) -> Optional[SanitizerReport]:
-        """End-of-job hook: collect the sanitizer report (if armed).
+    # -- resilience -----------------------------------------------------------
+    def _fallback(self) -> MpiFallbackChannel:
+        """The degraded MPI lane used when every RMA rail to a peer is
+        gated (health layer).  Built lazily; when the primary channel
+        already *is* the fallback it is reused as-is."""
+        if self._fallback_channel is None:
+            self._fallback_channel = MpiFallbackChannel(
+                self.job, self._fallback_config
+            )
+        return self._fallback_channel
 
-        Scans every node's signal table for leaked notifications
-        (counters stuck mid-count), set overflow bits and stray
-        completions.  Returns ``None`` when the sanitizer is disarmed;
-        idempotent otherwise.
+    def drain(self, peer_rank: Optional[int] = None) -> int:
+        """Quiesce in-flight reliable fragments (drain protocol).
+
+        Fragments against *dead* peers (fail-stop crash — even the
+        fallback lane is down) are cancelled and their pending
+        notifications discharged through the idempotent-add path, so no
+        signal token leaks; fragments to live peers are left to their
+        watchdogs.  ``peer_rank`` restricts the sweep to one peer.
+        Called automatically by :meth:`finalize`.  Returns the number of
+        fragments cancelled.
         """
+        cancelled = self.engine.drain(peer_rank)
+        if cancelled:
+            self.stats["drains"] += 1
+            if self.obs is not None:
+                self.obs.event(
+                    "health.drain", track="health", cancelled=cancelled,
+                    peer_rank=-1 if peer_rank is None else peer_rank,
+                )
+        return cancelled
+
+    def finalize(self) -> Optional[SanitizerReport]:
+        """End-of-job hook: drain dead-peer fragments, then collect the
+        sanitizer report (if armed).
+
+        The drain runs first so notifications owed by cancelled
+        fragments are discharged before the leak scan.  The scan covers
+        every node's signal table: leaked notifications (counters stuck
+        mid-count), set overflow bits and stray completions.  Returns
+        ``None`` when the sanitizer is disarmed; idempotent otherwise.
+        """
+        self.drain()
         if self.sanitizer is None:
             return None
         if not self.sanitizer.report.finalized:

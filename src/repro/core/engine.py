@@ -43,7 +43,7 @@ from typing import (
 from ..netsim import CompletionRecord, Node
 from ..sim import Environment
 from ..units import US
-from .errors import UnrTimeoutError, UnrUsageError
+from .errors import OpContext, UnrPeerDeadError, UnrTimeoutError, UnrUsageError
 from .levels import LevelPolicy, encode_custom
 from .polling import PollingConfig
 from .signal import submessage_addends
@@ -52,10 +52,12 @@ from .transport import plan_stripes
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs import Recorder
     from .api import Unr
+    from .health import HealthMonitor
     from .memory import Blk
 
 __all__ = [
     "CTRL_BYTES",
+    "FALLBACK_RAIL",
     "StripePlan",
     "TransferOp",
     "TransferEngine",
@@ -64,6 +66,13 @@ __all__ = [
 ]
 
 CTRL_BYTES = 24  # wire size of a (p, a) control message
+
+#: sentinel "rail" meaning the degraded MPI fallback lane (health layer)
+FALLBACK_RAIL = -1
+
+
+def _target_label(rail: int) -> str:
+    return "fallback" if rail == FALLBACK_RAIL else f"rail{rail}"
 
 #: (node index, signal id, addend) — a software MMAS add to apply.
 AddSpec = Tuple[int, int, int]
@@ -97,6 +106,13 @@ class StripePlan:
     #: add applied when the post's send completes (no local custom
     #: bits: the sender knows its own posts).
     local_done_add: Optional[AddSpec] = None
+    #: raw (node, sid, addend) of the remote/local notification,
+    #: independent of the custom-bit encoding chosen above — the
+    #: degraded fallback path synthesizes the same notifications from
+    #: these (with the same idempotence tokens), and the drain protocol
+    #: discharges them for cancelled fragments.
+    remote_sig: Optional[AddSpec] = None
+    local_sig: Optional[AddSpec] = None
 
 
 @dataclass
@@ -137,6 +153,29 @@ class TransferOp:
     n_posts: int = field(default=0, compare=False)
 
 
+class _InflightFragment:
+    """Registry entry for one posted reliable fragment (drain protocol)."""
+
+    __slots__ = ("fid", "op", "sp", "delivered", "rtok", "ltok", "cancelled")
+
+    def __init__(
+        self,
+        fid: int,
+        op: TransferOp,
+        sp: StripePlan,
+        delivered: Any,
+        rtok: Optional[int],
+        ltok: Optional[int],
+    ) -> None:
+        self.fid = fid
+        self.op = op
+        self.sp = sp
+        self.delivered = delivered
+        self.rtok = rtok
+        self.ltok = ltok
+        self.cancelled = False
+
+
 class TransferEngine:
     """The one posting pipeline behind ``put``/``get``/ctrl/fallback."""
 
@@ -144,6 +183,10 @@ class TransferEngine:
         self.unr = unr
         self.env = unr.env
         self.job = unr.job
+        #: in-flight reliable fragments, keyed by a monotone id; retired
+        #: on delivery, cancelled by :meth:`drain` against dead peers.
+        self._inflight: Dict[int, _InflightFragment] = {}
+        self._frag_seq = 0
 
     # -- prepare: descriptors --------------------------------------------
     def prepare_put(
@@ -237,6 +280,14 @@ class TransferEngine:
                     remote_add=remote_add,
                     local_action_add=local_action_add,
                     local_done_add=local_done_add,
+                    remote_sig=(
+                        (dst_node, rsid, r_addends[st.index])
+                        if (rsid is not None and not ctrl_remote) else None
+                    ),
+                    local_sig=(
+                        (src_node, lsid, l_addends[st.index])
+                        if lsid is not None else None
+                    ),
                 )
             )
         return TransferOp(
@@ -313,6 +364,11 @@ class TransferEngine:
             remote_add=remote_add,
             local_action_add=local_action_add,
             local_done_add=local_done_add,
+            remote_sig=(
+                (remote_node, rsid, -1)
+                if (rsid is not None and not ctrl_remote) else None
+            ),
+            local_sig=(src_node, lsid, -1) if lsid is not None else None,
         )
         return TransferOp(
             kind="get",
@@ -412,14 +468,15 @@ class TransferEngine:
                 deliver = None
             post = self._put_poster(op, sp, payload, deliver, rtok, ltok)
             if op.reliable:
-                first = self._live_rail(op.src_rank, op.dst_rank, sp.rail)
+                first = self._route(op, sp.rail, "PUT", sp.size)
+                frag = self._track_fragment(op, sp, delivered, rtok, ltok)
                 post(first)
                 self._watchdog(
                     post, delivered, sp.size, op.src_rank, op.dst_rank,
-                    first, "PUT",
+                    first, "PUT", frag=frag,
                 )
             else:
-                post(sp.rail)
+                post(self._gate_unreliable(op, sp.rail, "PUT", sp.size))
         if op.ctrl_remote:
             self.post_op(
                 self._signal_ctrl_op(
@@ -441,6 +498,22 @@ class TransferEngine:
         ch = self.unr.channel
 
         def post(rail: int) -> Any:
+            if rail == FALLBACK_RAIL:
+                # Degraded attempt over the MPI lane: the same payload,
+                # delivery callback and idempotence tokens, with the
+                # notifications applied in software from the raw specs.
+                self.unr.stats["fallback_posts"] += 1
+                return self.unr._fallback().put(
+                    op.src_rank,
+                    op.dst_rank,
+                    sp.size,
+                    payload=payload,
+                    on_deliver=deliver,
+                    remote_action=self._add_action(sp.remote_sig, rtok),
+                    local_action=self._add_action(sp.local_sig, ltok),
+                    remote_token=rtok,
+                    local_token=ltok,
+                )
             done = ch.put(
                 op.src_rank,
                 op.dst_rank,
@@ -488,6 +561,21 @@ class TransferEngine:
         local_action = self._add_action(sp.local_action_add, ltok)
 
         def post(rail: int) -> Any:
+            if rail == FALLBACK_RAIL:
+                # Degraded attempt over the MPI lane (emulated GET):
+                # same tokens, software-applied notifications.
+                unr.stats["fallback_posts"] += 1
+                return unr._fallback().get(
+                    op.src_rank,
+                    op.dst_rank,
+                    op.nbytes,
+                    fetch=op.fetch,
+                    on_deliver=deliver,
+                    remote_action=self._add_action(sp.remote_sig, rtok),
+                    local_action=self._add_action(sp.local_sig, ltok),
+                    remote_token=rtok,
+                    local_token=ltok,
+                )
             done = ch.get(
                 op.src_rank,
                 op.dst_rank,
@@ -517,18 +605,20 @@ class TransferEngine:
                 delivered.callbacks.append(self._add_callback(sp.local_done_add, ltok))
             if op.ctrl_remote:
                 delivered.callbacks.append(self._ctrl_callback(op))
-            first = self._live_rail(op.src_rank, op.dst_rank, 0)
+            first = self._route(op, 0, "GET", op.nbytes)
+            frag = self._track_fragment(op, sp, delivered, rtok, ltok)
             post(first)
             self._watchdog(
                 post, delivered, op.nbytes, op.src_rank, op.dst_rank,
-                first, "GET", round_trip=True,
+                first, "GET", round_trip=True, frag=frag,
             )
         else:
-            post(0)
+            post(self._gate_unreliable(op, 0, "GET", op.nbytes))
 
     def _post_signal_ctrl(self, op: TransferOp) -> None:
         unr = self.unr
         env = self.env
+        self._check_ctrl_lane(op)
         unr.stats["ctrl_msgs"] += 1
         if unr.obs is not None:
             unr.obs.event(
@@ -558,6 +648,7 @@ class TransferEngine:
         )
 
     def _post_payload_ctrl(self, op: TransferOp) -> Any:
+        self._check_ctrl_lane(op)
         return self.unr.channel.put(
             op.src_rank,
             op.dst_rank,
@@ -613,6 +704,154 @@ class TransferEngine:
             )
         )
 
+    # -- health / degradation routing -------------------------------------
+    def _check_ctrl_lane(self, op: TransferOp) -> None:
+        """The ordered lane is the last rung of the degradation ladder:
+        it only dies with the peer (fail-stop node crash)."""
+        health = self.unr.health
+        if health is None:
+            return
+        if health.fallback_dead(op.src_rank, op.dst_rank):
+            raise UnrPeerDeadError(
+                f"CTRL of {op.nbytes}B from rank {op.src_rank} to rank "
+                f"{op.dst_rank}: peer is dead (ordered/fallback lane down)",
+                context=OpContext(
+                    kind="CTRL", src_rank=op.src_rank, dst_rank=op.dst_rank,
+                    nbytes=op.nbytes, sim_time_us=self.env.now / US,
+                ),
+            )
+
+    def _route(self, op: TransferOp, preferred: int, what: str, nbytes: int) -> int:
+        """Pick the target for a *reliable* fragment's first post.
+
+        Health disarmed: plain rail failover (exactly the pre-health
+        behaviour).  Health armed: breaker-gated rail selection; when the
+        RMA plane to the peer is fully dark the op degrades transparently
+        to :data:`FALLBACK_RAIL`, and :class:`UnrPeerDeadError` is raised
+        only when the fallback lane is dead too.
+        """
+        health = self.unr.health
+        if health is None:
+            return self._live_rail(op.src_rank, op.dst_rank, preferred)
+        rail = health.live_rail(op.src_rank, op.dst_rank, preferred)
+        if rail is not None:
+            return rail
+        if health.fallback_dead(op.src_rank, op.dst_rank):
+            raise UnrPeerDeadError(
+                f"{what} of {nbytes}B from rank {op.src_rank} to rank "
+                f"{op.dst_rank}: peer is dead (no live RMA rail and the "
+                f"fallback lane is down)",
+                context=OpContext(
+                    kind=what, src_rank=op.src_rank, dst_rank=op.dst_rank,
+                    nbytes=nbytes, sim_time_us=self.env.now / US,
+                ),
+            )
+        health.on_degraded(op.src_rank, op.dst_rank, what)
+        return FALLBACK_RAIL
+
+    def _gate_unreliable(self, op: TransferOp, preferred: int, what: str,
+                         nbytes: int) -> int:
+        """Health gate for *unreliable* posts (reliability disarmed, or
+        lanes that are reliable by construction).
+
+        Without the watchdog's idempotence tokens there is no token-safe
+        degradation, so a dark RMA plane is fail-fast: the post is
+        rejected with :class:`UnrPeerDeadError` carrying the op context
+        (``attempts`` empty — rejected before any transmission).
+        Software-notify and Level-0 ordered lanes are unaffected by rail
+        death and only fail with the peer.
+        """
+        health = self.unr.health
+        if health is None:
+            return preferred
+        if health.fallback_dead(op.src_rank, op.dst_rank):
+            raise UnrPeerDeadError(
+                f"{what} of {nbytes}B from rank {op.src_rank} to rank "
+                f"{op.dst_rank}: peer is dead (fallback lane down)",
+                context=OpContext(
+                    kind=what, src_rank=op.src_rank, dst_rank=op.dst_rank,
+                    nbytes=nbytes, sim_time_us=self.env.now / US,
+                ),
+            )
+        if op.software or op.ctrl_remote:
+            return preferred
+        rail = health.live_rail(op.src_rank, op.dst_rank, preferred)
+        if rail is None:
+            raise UnrPeerDeadError(
+                f"{what} of {nbytes}B from rank {op.src_rank} to rank "
+                f"{op.dst_rank}: no live RMA rail and reliability is "
+                f"disarmed (no token-safe degradation path)",
+                context=OpContext(
+                    kind=what, src_rank=op.src_rank, dst_rank=op.dst_rank,
+                    nbytes=nbytes, sim_time_us=self.env.now / US,
+                ),
+            )
+        return rail
+
+    def _track_fragment(
+        self,
+        op: TransferOp,
+        sp: StripePlan,
+        delivered: Any,
+        rtok: Optional[int],
+        ltok: Optional[int],
+    ) -> _InflightFragment:
+        self._frag_seq += 1
+        frag = _InflightFragment(self._frag_seq, op, sp, delivered, rtok, ltok)
+        self._inflight[frag.fid] = frag
+        return frag
+
+    # -- drain / quiesce protocol -----------------------------------------
+    def drain(self, peer_rank: Optional[int] = None) -> int:
+        """Quiesce in-flight reliable fragments (``Unr.drain``).
+
+        Fragments to live peers are left to their watchdogs.  Fragments
+        to a *dead* peer (fail-stop crash: even the fallback lane is
+        down) are cancelled: their pending notifications are discharged
+        in software through the normal idempotent-add path, so no
+        signal token leaks and ``UnrSanitizer`` stays clean.  Purely
+        passive — no simulator events are scheduled.  Returns the
+        number of fragments cancelled.
+        """
+        health = self.unr.health
+        cancelled = 0
+        for frag in list(self._inflight.values()):
+            op = frag.op
+            if peer_rank is not None and op.dst_rank != peer_rank:
+                continue
+            if frag.delivered is not None and frag.delivered.triggered:
+                self._inflight.pop(frag.fid, None)
+                continue
+            if health is None or not health.fallback_dead(op.src_rank, op.dst_rank):
+                continue
+            self._cancel_fragment(frag)
+            cancelled += 1
+        return cancelled
+
+    def _cancel_fragment(self, frag: _InflightFragment) -> None:
+        """Discharge one cancelled fragment's notifications.
+
+        The adds go through ``_apply_add`` with the fragment's original
+        idempotence tokens: if a raced wire delivery already applied (or
+        later applies) the same notification, the token dedup keeps the
+        count single.  Tokenless Level-0 ctrl tails can't be discharged
+        that way — the sanitizer is told to expect the shortfall."""
+        unr = self.unr
+        frag.cancelled = True
+        self._inflight.pop(frag.fid, None)
+        op, sp = frag.op, frag.sp
+        if sp.local_sig is not None:
+            node, sid, addend = sp.local_sig
+            unr._apply_add(node, sid, addend, token=frag.ltok)
+        if sp.remote_sig is not None:
+            node, sid, addend = sp.remote_sig
+            unr._apply_add(node, sid, addend, token=frag.rtok)
+        if op.ctrl_remote and op.rsid is not None and unr.sanitizer is not None:
+            unr.sanitizer.on_fragment_drained(op.dst_node, op.rsid)
+        unr.stats["drained_fragments"] += 1
+        if unr.obs is not None:
+            unr.obs.count("health.drained_fragments")
+
     # -- reliability layer ------------------------------------------------
     def _live_rail(self, src_rank: int, dst_rank: int, preferred: int) -> int:
         """First rail at or after ``preferred`` whose NICs are alive on
@@ -642,43 +881,140 @@ class TransferEngine:
             est += spec.msg_overhead + spec.latency
         return est
 
+    def _fallback_estimate(self, nbytes: int, round_trip: bool = False) -> float:
+        """No-contention delivery time over the MPI fallback lane: the
+        software lane adds per-message overhead and (for large payloads)
+        a rendezvous round-trip, so a degraded attempt must not be
+        declared lost on an RMA-sized timeout."""
+        est = self._delivery_estimate(nbytes, round_trip)
+        cfg = getattr(self.unr._fallback(), "config", None)
+        if cfg is not None:
+            spec = self.job.cluster.spec.nic
+            est += 2.0 * cfg.sw_overhead_us * US
+            if nbytes > cfg.eager_threshold:
+                est += cfg.rendezvous_rtts * 2.0 * (spec.latency + spec.msg_overhead)
+                est += (nbytes / spec.bandwidth) * max(
+                    cfg.rendezvous_bw_penalty - 1.0, 0.0
+                )
+        return est
+
     def _watchdog(self, post: Callable[[int], Any], delivered: Any, nbytes: int,
                   src_rank: int, dst_rank: int, first_rail: int, what: str,
-                  round_trip: bool = False) -> None:
+                  round_trip: bool = False,
+                  frag: Optional[_InflightFragment] = None) -> None:
         """Guard one posted fragment: retransmit (with exponential
-        backoff, moving to the next live rail each attempt) until
-        ``delivered`` fires, else raise :class:`UnrTimeoutError`."""
+        backoff, moving to the next live target each attempt) until
+        ``delivered`` fires, else raise :class:`UnrTimeoutError`.
+
+        With the health layer armed every timeout/delivery feeds the
+        per-path circuit breakers, and when the breakers leave no live
+        RMA rail the retransmit ladder steps down to the fallback lane
+        (:data:`FALLBACK_RAIL`) instead of hammering dead rails —
+        raising :class:`UnrPeerDeadError` only when the fallback lane is
+        dead too.  The full attempt history rides along in the raised
+        error's :class:`~repro.core.errors.OpContext`.
+        """
         unr = self.unr
         rel = unr.reliability
+        health = unr.health
         env = self.env
         base = rel.fragment_timeout(self._delivery_estimate(nbytes, round_trip))
 
         def guard() -> Generator[Any, Any, None]:
-            rail = first_rail
+            target = first_rail
             t = base
+            fb_base = 0.0
+            if target == FALLBACK_RAIL:
+                fb_base = rel.fragment_timeout(
+                    self._fallback_estimate(nbytes, round_trip)
+                )
+                t = max(t, fb_base)
+            attempts = [(_target_label(target), env.now / US)]
             for attempt in range(rel.max_retries + 1):
                 yield env.any_of([delivered, env.timeout(t)])
+                if frag is not None and frag.cancelled:
+                    return  # drained: the op was quiesced against a dead peer
                 if delivered.triggered:
+                    if health is not None and target != FALLBACK_RAIL:
+                        health.on_success(src_rank, dst_rank, target)
+                    if frag is not None:
+                        self._inflight.pop(frag.fid, None)
+                    if attempt:
+                        unr.stats["recovered_ops"] += 1
                     return
+                if health is not None and target != FALLBACK_RAIL:
+                    health.on_timeout(src_rank, dst_rank, target)
                 if attempt == rel.max_retries:
                     break
-                rail = self._live_rail(src_rank, dst_rank, rail + 1)
+                if health is None:
+                    target = self._live_rail(src_rank, dst_rank, target + 1)
+                else:
+                    probe_from = 0 if target == FALLBACK_RAIL else target + 1
+                    nxt = health.live_rail(src_rank, dst_rank, probe_from)
+                    if nxt is None:
+                        if health.fallback_dead(src_rank, dst_rank):
+                            break  # ladder exhausted: peer is fail-stop dead
+                        if target != FALLBACK_RAIL:
+                            health.on_degraded(src_rank, dst_rank, what)
+                            fb_base = rel.fragment_timeout(
+                                self._fallback_estimate(nbytes, round_trip)
+                            )
+                        target = FALLBACK_RAIL
+                        t = max(t, fb_base)
+                    else:
+                        target = nxt
                 unr.stats["retransmits"] += 1
                 if unr.obs is not None:
                     unr.obs.event(
                         "reliability.retransmit", track=f"rank{src_rank}",
-                        what=what, attempt=attempt + 1, rail=rail, nbytes=nbytes,
+                        what=what, attempt=attempt + 1, rail=target, nbytes=nbytes,
                     )
-                post(rail)
-                t = min(t * rel.backoff_factor, max(rel.max_backoff, base))
+                attempts.append((_target_label(target), env.now / US))
+                post(target)
+                t = min(t * rel.backoff_factor, max(rel.max_backoff, base, fb_base))
             unr.stats["reliability_failures"] += 1
-            raise UnrTimeoutError(
+            # NB: the fragment stays in ``_inflight`` — a later drain()
+            # discharges its notification tokens against the dead peer.
+            context = OpContext(
+                kind=what, src_rank=src_rank, dst_rank=dst_rank, nbytes=nbytes,
+                sim_time_us=env.now / US, attempts=tuple(attempts),
+                degraded=any(lbl == "fallback" for lbl, _ in attempts),
+            )
+            message = (
                 f"{what} of {nbytes}B from rank {src_rank} to rank {dst_rank}: "
                 f"no delivery after {rel.max_retries} retransmits "
                 f"(last timeout {t / US:.1f} us)"
             )
+            if health is not None and health.fallback_dead(src_rank, dst_rank):
+                err: UnrTimeoutError = UnrPeerDeadError(message, context=context)
+            else:
+                err = UnrTimeoutError(message, context=context)
+            # Prefer surfacing in the application frame blocked in
+            # sig_wait on this op's signal — the context rides along and
+            # the app may handle the dead peer; without a waiter the
+            # error propagates through the kernel as before.
+            if self._fail_op_waiter(frag, err):
+                return
+            raise err
 
         env.process(guard(), name=f"unr-watchdog-{what.lower()}")
+
+    def _fail_op_waiter(self, frag: Optional[_InflightFragment],
+                        err: BaseException) -> bool:
+        """Throw ``err`` into a frame blocked in ``sig_wait`` on one of
+        the fragment's signals.  The remote notification is the one the
+        lost fragment actually owes (local completion usually fired when
+        the data left the source NIC), so its waiter is tried first."""
+        if frag is None:
+            return False
+        for spec in (frag.sp.remote_sig, frag.sp.local_sig):
+            if spec is None:
+                continue
+            node, sid, _ = spec
+            sig = self.unr._signal_at(node, sid)
+            if sig is not None and sig.fail_waiters(err):
+                return True
+        return False
 
     def _max_stripe_k(self, policy: LevelPolicy) -> int:
         """Largest stripe count whose addends fit the policy's bits."""
@@ -712,6 +1048,7 @@ class ProgressEngine:
         default_handler: Optional[Callable[[int, CompletionRecord], None]] = None,
         *,
         obs: Optional["Recorder"] = None,
+        health: Optional["HealthMonitor"] = None,
     ) -> None:
         self.env = env
         self.node = node
@@ -719,6 +1056,10 @@ class ProgressEngine:
         self.default_handler = default_handler
         self._handlers: Dict[str, Callable[[int, CompletionRecord], None]] = {}
         self.obs = obs
+        #: health monitor fed with every swept record: a completion that
+        #: crossed the wire proves its (src, dst, rail) path, which is
+        #: what closes half-open breakers without extra probe traffic.
+        self.health = health
         self.n_dispatched = 0
         self.total_delay = 0.0
         if config.mode == "none":
@@ -740,21 +1081,25 @@ class ProgressEngine:
 
     def _sweep_loop(self, nic: Any) -> Generator[Any, Any, None]:
         delay = self.config.dispatch_delay
-        while True:
+        while True:  # unrlint: disable=UNR008
             record = yield nic.cq.get()
             if self.obs is not None:
                 self.obs.count("core.poll_sweeps")
             # A stalled CQ (fault injection) holds its records back: the
             # progress engine is wedged until the stall window passes.
-            while nic.cq.is_stalled:
+            while nic.cq.is_stalled:  # unrlint: disable=UNR008
                 yield self.env.timeout(nic.cq.stalled_until - self.env.now)
             if delay > 0:
                 yield self.env.timeout(delay)
             self._dispatch(record)
+            if self.health is not None:
+                self.health.on_cq_record(nic.index, record)
             # Drain whatever else arrived during the delay in one
             # batched sweep — no extra simulator events per record.
             for extra in nic.cq.poll_batch():
                 self._dispatch(extra)
+                if self.health is not None:
+                    self.health.on_cq_record(nic.index, extra)
 
     def _dispatch(self, record: CompletionRecord) -> None:
         self.n_dispatched += 1

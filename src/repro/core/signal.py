@@ -235,6 +235,17 @@ class Signal:
             self._wait_event = evt
         return self._wait_event
 
+    def fail_waiters(self, exc: BaseException) -> bool:
+        """Throw ``exc`` into whoever is blocked in ``sig_wait`` on this
+        signal (the watchdog uses this so a timeout surfaces in the
+        application frame that owns the op, structured context intact).
+        Returns True when a pending waiter received the error."""
+        if self._wait_event is not None and not self._wait_event.triggered:
+            self._wait_event.fail(exc)
+            self._wait_event = None
+            return True
+        return False
+
     def __repr__(self) -> str:
         return (
             f"<Signal sid={self.sid} num_event={self.num_event} "

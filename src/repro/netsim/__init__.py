@@ -8,7 +8,15 @@ contention model so the paper's performance shapes carry over.
 """
 
 from .cluster import Cluster
-from .faults import CqStall, FaultInjector, FaultSpec, RailFailure
+from .faults import (
+    CqStall,
+    EndpointDown,
+    FaultInjector,
+    FaultSpec,
+    LinkFlap,
+    NodeCrash,
+    RailFailure,
+)
 from .nic import CompletionQueue, CompletionRecord, CqOverflowError, Nic
 from .node import CpuSet, Node
 from .spec import GBPS, US, ClusterSpec, FabricSpec, NicSpec, NodeSpec
@@ -24,13 +32,16 @@ __all__ = [
     "CqOverflowError",
     "CqStall",
     "CpuSet",
+    "EndpointDown",
     "FabricSpec",
     "FaultInjector",
     "FaultSpec",
+    "LinkFlap",
     "Nic",
     "NicSpec",
     "MessageTrace",
     "Node",
+    "NodeCrash",
     "NodeSpec",
     "RailFailure",
     "TraceRecord",

@@ -21,7 +21,17 @@ and subjects unordered RDMA traffic to a *fault schedule*:
   still in flight to or from it are lost, and later posts on it never
   reach the wire;
 * **cq_stall@t:dur** — a completion queue stops being serviced for a
-  window, delaying every notification behind it.
+  window, delaying every notification behind it;
+* **endpoint_down@t:dur** — *every* rail of one node dies at ``t`` and
+  recovers at ``t + dur`` (switch reboot, firmware hiccup): the RMA
+  plane to that peer is dark for the window but the ordered/fallback
+  lane survives — the scenario the health monitor degrades around;
+* **node_crash@t** — fail-stop: the node goes permanently dark, rails
+  *and* the ordered/fallback lane included.  Nothing posted to or from
+  it delivers again; with the health layer armed the library raises
+  :class:`~repro.core.errors.UnrPeerDeadError` instead of hanging;
+* **link_flap@t:down** — one rail oscillates: ``n`` cycles of ``down``
+  microseconds dead, then alive again, spaced ``period`` apart.
 
 Determinism and replay
 ----------------------
@@ -48,7 +58,15 @@ import numpy as np
 from .nic import CompletionRecord, Nic
 from ..units import US
 
-__all__ = ["RailFailure", "CqStall", "FaultSpec", "FaultInjector"]
+__all__ = [
+    "RailFailure",
+    "CqStall",
+    "NodeCrash",
+    "EndpointDown",
+    "LinkFlap",
+    "FaultSpec",
+    "FaultInjector",
+]
 
 DEFAULT_FAULT_SEED = 0xFA117
 
@@ -74,6 +92,61 @@ class CqStall:
 
 
 @dataclass(frozen=True)
+class NodeCrash:
+    """Fail-stop: at ``time_us`` the whole node goes permanently dark —
+    every rail NIC dies and even the ordered (control/fallback) lane
+    drops traffic to and from it.  ``node`` defaults to a deterministic
+    draw from the injector's generator."""
+
+    time_us: float
+    node: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class EndpointDown:
+    """Every rail of one node dies at ``time_us`` and recovers at
+    ``time_us + duration_us``.  The ordered/fallback lane stays up —
+    this is the graceful-degradation scenario, not a fail-stop."""
+
+    time_us: float
+    duration_us: float
+    node: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.duration_us <= 0.0:
+            raise ValueError(f"endpoint_down duration_us={self.duration_us} must be > 0")
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """One rail oscillates: ``n_flaps`` cycles of ``down_us`` dead then
+    alive again, cycle starts spaced ``period_us`` apart (defaults to
+    ``2 * down_us``)."""
+
+    time_us: float
+    down_us: float
+    node: Optional[int] = None
+    rail: Optional[int] = None
+    n_flaps: int = 1
+    period_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.down_us <= 0.0:
+            raise ValueError(f"link_flap down_us={self.down_us} must be > 0")
+        if self.n_flaps < 1:
+            raise ValueError(f"link_flap n_flaps={self.n_flaps} must be >= 1")
+        period = self.period_us if self.period_us is not None else 2.0 * self.down_us
+        if period < self.down_us:
+            raise ValueError(
+                f"link_flap period_us={period} shorter than down_us={self.down_us}"
+            )
+
+    @property
+    def period(self) -> float:
+        return self.period_us if self.period_us is not None else 2.0 * self.down_us
+
+
+@dataclass(frozen=True)
 class FaultSpec:
     """One fault schedule.  Probabilities are per *fragment*; times are
     in microseconds of simulated time."""
@@ -87,6 +160,9 @@ class FaultSpec:
     reorder_us: float = 3.0
     rail_failures: Tuple[RailFailure, ...] = ()
     cq_stalls: Tuple[CqStall, ...] = ()
+    node_crashes: Tuple[NodeCrash, ...] = ()
+    endpoint_downs: Tuple[EndpointDown, ...] = ()
+    link_flaps: Tuple[LinkFlap, ...] = ()
     seed: int = DEFAULT_FAULT_SEED
     #: link-level CRC: corrupted frames are discarded at the receiver
     #: (like real fabrics) instead of delivering garbage.
@@ -107,6 +183,9 @@ class FaultSpec:
             and self.corrupt == self.reorder == 0.0
             and not self.rail_failures
             and not self.cq_stalls
+            and not self.node_crashes
+            and not self.endpoint_downs
+            and not self.link_flaps
         )
 
     # ------------------------------------------------------------------
@@ -115,15 +194,23 @@ class FaultSpec:
         """Parse a spec string like
         ``"drop=0.3,reorder=0.2,rail_fail@t=5.0,cq_stall@t=3:dur=10"``.
 
-        Comma-separated tokens; event tokens (``rail_fail``/``cq_stall``)
-        take colon-separated options (``t``, ``dur``, ``node``, ``rail``).
+        Comma-separated tokens; event tokens (``rail_fail``, ``cq_stall``,
+        ``node_crash``, ``endpoint_down``, ``link_flap``) take
+        colon-separated options (``t``, ``dur``, ``node``, ``rail``,
+        ``down``, ``n``, ``period``).
         """
         kwargs: dict = {}
         rails: list = []
         stalls: list = []
+        crashes: list = []
+        downs: list = []
+        flaps: list = []
         aliases = {"dup": "duplicate", "ordered": "fault_ordered"}
+        event_tokens = (
+            "rail_fail@", "cq_stall@", "node_crash@", "endpoint_down@", "link_flap@",
+        )
         for token in (t.strip() for t in text.split(",") if t.strip()):
-            if token.startswith(("rail_fail@", "cq_stall@")):
+            if token.startswith(event_tokens):
                 name, _, rest = token.partition("@")
                 opts = {}
                 for part in rest.split(":"):
@@ -138,12 +225,32 @@ class FaultSpec:
                             node=_opt_int(opts, "node"),
                             rail=_opt_int(opts, "rail"),
                         ))
-                    else:
+                    elif name == "cq_stall":
                         stalls.append(CqStall(
                             time_us=opts.pop("t"),
                             duration_us=opts.pop("dur"),
                             node=_opt_int(opts, "node"),
                             rail=_opt_int(opts, "rail"),
+                        ))
+                    elif name == "node_crash":
+                        crashes.append(NodeCrash(
+                            time_us=opts.pop("t"),
+                            node=_opt_int(opts, "node"),
+                        ))
+                    elif name == "endpoint_down":
+                        downs.append(EndpointDown(
+                            time_us=opts.pop("t"),
+                            duration_us=opts.pop("dur"),
+                            node=_opt_int(opts, "node"),
+                        ))
+                    else:
+                        flaps.append(LinkFlap(
+                            time_us=opts.pop("t"),
+                            down_us=opts.pop("down"),
+                            node=_opt_int(opts, "node"),
+                            rail=_opt_int(opts, "rail"),
+                            n_flaps=_opt_int(opts, "n") or 1,
+                            period_us=opts.pop("period", None),
                         ))
                 except KeyError as exc:
                     raise ValueError(f"{token!r} is missing required option {exc}") from None
@@ -165,7 +272,14 @@ class FaultSpec:
                 raise ValueError(f"unknown fault key {key!r}")
         if seed is not None and "seed" not in kwargs:
             kwargs["seed"] = seed
-        return cls(rail_failures=tuple(rails), cq_stalls=tuple(stalls), **kwargs)
+        return cls(
+            rail_failures=tuple(rails),
+            cq_stalls=tuple(stalls),
+            node_crashes=tuple(crashes),
+            endpoint_downs=tuple(downs),
+            link_flaps=tuple(flaps),
+            **kwargs,
+        )
 
 
 def _opt_int(opts: dict, key: str) -> Optional[int]:
@@ -208,6 +322,9 @@ class FaultInjector:
         injectors.append(self)
         self._schedule_rail_failures()
         self._schedule_cq_stalls()
+        self._schedule_node_crashes()
+        self._schedule_endpoint_downs()
+        self._schedule_link_flaps()
         for node in cluster.nodes:
             for nic in node.nics:
                 self._wrap(nic)
@@ -242,6 +359,103 @@ class FaultInjector:
                     "fault.rail_fail", track="faults",
                     node=nic.node.index, rail=nic.index,
                 )
+
+    def _recover_rail(self, nic: Nic) -> None:
+        """Bring a failed NIC back (endpoint recovery / link-flap up)."""
+        if nic.failed and not nic.node.crashed:
+            nic.failed = False
+            self.failed_rails.discard(nic.global_id)
+            self.stats["rails_recovered"] += 1
+            obs = getattr(self.cluster, "obs", None)
+            if obs is not None:
+                obs.event(
+                    "fault.rail_recover", track="faults",
+                    node=nic.node.index, rail=nic.index,
+                )
+
+    def _schedule_node_crashes(self) -> None:
+        for nc in self.spec.node_crashes:
+            node_idx = nc.node if nc.node is not None else int(
+                self.rng.integers(self.cluster.n_nodes)
+            )
+            node = self.cluster.node(node_idx)
+            when = max(nc.time_us * US - self.env.now, 0.0)
+
+            def crash(_e, node=node):
+                if node.crashed:
+                    return
+                node.crashed = True
+                self.stats["node_crashes"] += 1
+                for nic in node.nics:
+                    self._fail_rail(nic)
+                obs = getattr(self.cluster, "obs", None)
+                if obs is not None:
+                    obs.event("fault.node_crash", track="faults", node=node.index)
+
+            evt = self.env.timeout(when)
+            evt.callbacks.append(crash)
+
+    def _schedule_endpoint_downs(self) -> None:
+        for ed in self.spec.endpoint_downs:
+            node_idx = ed.node if ed.node is not None else int(
+                self.rng.integers(self.cluster.n_nodes)
+            )
+            node = self.cluster.node(node_idx)
+            when = max(ed.time_us * US - self.env.now, 0.0)
+            dur = ed.duration_us * US
+
+            def down(_e, node=node):
+                self.stats["endpoint_downs"] += 1
+                for nic in node.nics:
+                    self._fail_rail(nic)
+                obs = getattr(self.cluster, "obs", None)
+                if obs is not None:
+                    obs.event(
+                        "fault.endpoint_down", track="faults",
+                        node=node.index, dur_us=dur / US,
+                    )
+
+            def up(_e, node=node):
+                self.stats["endpoint_recoveries"] += 1
+                for nic in node.nics:
+                    self._recover_rail(nic)
+                obs = getattr(self.cluster, "obs", None)
+                if obs is not None:
+                    obs.event("fault.endpoint_up", track="faults", node=node.index)
+
+            self.env.timeout(when).callbacks.append(down)
+            self.env.timeout(when + dur).callbacks.append(up)
+
+    def _schedule_link_flaps(self) -> None:
+        for lf in self.spec.link_flaps:
+            node_idx = lf.node if lf.node is not None else int(
+                self.rng.integers(self.cluster.n_nodes)
+            )
+            node = self.cluster.node(node_idx)
+            rail = lf.rail if lf.rail is not None else int(
+                self.rng.integers(node.n_rails)
+            )
+            nic = node.nics[rail % node.n_rails]
+            period = lf.period * US
+            down_dur = lf.down_us * US
+            start = max(lf.time_us * US - self.env.now, 0.0)
+
+            def flap_down(_e, nic=nic):
+                self.stats["link_flaps"] += 1
+                self._fail_rail(nic)
+                obs = getattr(self.cluster, "obs", None)
+                if obs is not None:
+                    obs.event(
+                        "fault.link_flap", track="faults",
+                        node=nic.node.index, rail=nic.index,
+                    )
+
+            def flap_up(_e, nic=nic):
+                self._recover_rail(nic)
+
+            for i in range(lf.n_flaps):
+                self.env.timeout(start + i * period).callbacks.append(flap_down)
+                self.env.timeout(start + i * period + down_dur).callbacks.append(flap_up)
 
     def _schedule_cq_stalls(self) -> None:
         for cs in self.spec.cq_stalls:
@@ -317,8 +531,19 @@ class FaultInjector:
                      local_record=None, remote_record=None,
                      remote_action=None, local_action=None, ordered=False):
             if ordered and not spec.fault_ordered:
+                # The reliable ordered lane survives every fault except a
+                # fail-stop node crash: traffic touching a crashed node is
+                # blackholed, checked at delivery time so frames already in
+                # flight when the crash fires are lost too.
+                def ordered_deliver(data, _orig=on_deliver):
+                    if nic.node.crashed or dst.node.crashed:
+                        self.stats["ordered_killed"] += 1
+                        return
+                    if _orig is not None:
+                        _orig(data)
+
                 return orig_put(dst, nbytes, payload=payload,
-                                on_deliver=on_deliver,
+                                on_deliver=ordered_deliver,
                                 local_record=local_record,
                                 remote_record=remote_record,
                                 remote_action=remote_action,

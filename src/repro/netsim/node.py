@@ -92,6 +92,10 @@ class Node:
         self.nics: List[Nic] = []
         self._nic_spec = None  # filled by Cluster
         self.fabric = fabric
+        #: fail-stop flag set by a :class:`~repro.netsim.faults.NodeCrash`:
+        #: every rail is dead and even the ordered (control/fallback) lane
+        #: drops traffic to and from this node.
+        self.crashed = False
 
     def _attach_nics(self, nic_spec, count: int) -> None:
         from .nic import Nic

@@ -1,0 +1,28 @@
+"""Fixture: hand-rolled retry/backoff loops (UNR008 x3).
+
+A ``while`` loop that sleeps on the simulated clock and re-posts is a
+private reliability layer — it bypasses the watchdog's breaker
+feedback and idempotence tokens.
+"""
+
+
+def retry_until_delivered(env, post, delivered):
+    t = 10.0
+    while not delivered():
+        yield env.timeout(t)
+        post()
+        t *= 2.0
+
+
+def retry_with_ctx(ctx, op):
+    attempts = 0
+    while attempts < 5:
+        op.post()
+        yield ctx.env.timeout(50.0)
+        attempts += 1
+
+
+def retry_bare_timeout(timeout, op):
+    while not op.done:
+        yield timeout(25.0)
+        op.post()

@@ -1,0 +1,11 @@
+"""Fixture standing in for the reliability layer: retry loops ARE
+allowed in core/health.py (and core/transport.py) — that is where the
+watchdog and circuit breakers live."""
+
+
+def watchdog(env, post, delivered, timeout_us):
+    t = timeout_us
+    while not delivered():
+        yield env.timeout(t)
+        post()
+        t *= 2.0

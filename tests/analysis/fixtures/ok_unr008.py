@@ -1,0 +1,21 @@
+"""Fixture: timeout use that is NOT a retry loop — clean.
+
+A bounded ``for`` pacing loop, a ``while`` loop with no sleeping, and a
+one-shot timeout are all fine; only ``while`` + ``timeout()`` is the
+retry shape UNR008 guards.
+"""
+
+
+def paced_posts(env, post, n):
+    for _ in range(n):
+        post()
+        yield env.timeout(20.0)
+
+
+def drain_queue(queue, handle):
+    while queue:
+        handle(queue.pop())
+
+
+def single_delay(env):
+    yield env.timeout(5.0)

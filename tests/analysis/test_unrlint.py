@@ -69,6 +69,14 @@ def test_unr007_flags_cq_drain_outside_engine():
     }
 
 
+def test_unr008_flags_retry_loops_outside_reliability_layer():
+    findings = lint_fixture("bad_unr008.py")
+    assert rules_of(findings) == ["UNR008"]
+    # env.timeout, ctx.env.timeout, bare timeout — one per while-loop.
+    assert len(findings) == 3
+    assert all("retry/backoff" in f.message for f in findings)
+
+
 # -- per-rule: must NOT trigger ----------------------------------------------
 
 @pytest.mark.parametrize(
@@ -82,6 +90,8 @@ def test_unr007_flags_cq_drain_outside_engine():
         "ok_unr005.py",
         "obs/ok_unr006.py",
         "core/engine.py",  # CQ draining allowed in the progress engine
+        "ok_unr008.py",
+        "core/health.py",  # retry loops allowed in the reliability layer
     ],
 )
 def test_clean_fixture(fixture):

@@ -1,0 +1,63 @@
+"""Resilience bench: schema, verdicts and validator (fast, one platform).
+
+The full four-platform soak lives in ``tests/test_chaos.py`` behind the
+``chaos``/``slow`` markers; this module keeps a single-platform run in
+tier-1 so the record schema and the degradation verdicts are gated on
+every push.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    RESILIENCE_SCHEMA,
+    resilience_bench,
+    validate_resilience_bench,
+    validate_resilience_bench_file,
+    write_resilience_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def record():
+    return resilience_bench(["th-xy"])
+
+
+def test_record_validates_clean(record):
+    assert record["schema"] == RESILIENCE_SCHEMA
+    assert validate_resilience_bench(record) == []
+
+
+def test_verdicts_hold_on_one_platform(record):
+    assert record["correct"] and record["identical"]
+    block = record["platforms"]["th-xy"]
+    assert block["degraded"], "endpoint-down window never forced the fallback lane"
+    for run in block["runs"]:
+        assert run["degraded_ops"] > 0
+        assert run["repromotions"] >= 1
+        assert run["time_to_recover_us"]["n"] >= 1
+        assert run["time_to_recover_us"]["max"] >= run["time_to_recover_us"]["p50"]
+
+
+def test_write_and_validate_file(tmp_path, record):
+    path = str(tmp_path / "BENCH_resilience.json")
+    write_resilience_bench(record, path)
+    validate_resilience_bench_file(path)
+    assert json.load(open(path))["name"] == "resilience_bench"
+
+
+def test_validator_rejects_malformed(record):
+    assert validate_resilience_bench([]) == [
+        "resilience bench record must be an object"
+    ]
+    broken = dict(record, schema="repro.bench.resilience/0")
+    assert any("schema" in e for e in validate_resilience_bench(broken))
+    no_platforms = dict(record, platforms={})
+    assert any("platforms" in e for e in validate_resilience_bench(no_platforms))
+    bad_run = json.loads(json.dumps(record))
+    bad_run["platforms"]["th-xy"]["runs"][0]["repromotions"] = -1
+    assert any("repromotions" in e for e in validate_resilience_bench(bad_run))
+    bad_fp = json.loads(json.dumps(record))
+    bad_fp["platforms"]["th-xy"]["runs"][1]["fingerprint"] = "short"
+    assert any("fingerprint" in e for e in validate_resilience_bench(bad_fp))

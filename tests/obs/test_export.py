@@ -2,6 +2,7 @@
 across identical runs."""
 
 import json
+from pathlib import Path
 
 from repro.bench import trace_demo
 from repro.obs import (
@@ -10,8 +11,11 @@ from repro.obs import (
     text_timeline,
     to_trace_events,
     validate_bench,
+    validate_bench_file,
     validate_trace,
 )
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
 
 
 def run_demo():
@@ -47,6 +51,12 @@ def test_bench_record_is_byte_stable_and_valid():
     dump = lambda r: json.dumps(r, sort_keys=True, indent=2)  # noqa: E731
     assert dump(ra) == dump(rb)
     assert ra["transfer_fingerprint"] == rb["transfer_fingerprint"]
+
+
+def test_committed_bench_fixture_validates():
+    """The one committed bench record (the schema fixture) stays valid —
+    regenerated artifacts in the repo root are gitignored instead."""
+    validate_bench_file(str(FIXTURES / "BENCH_obs.json"))
 
 
 def test_text_timeline_merges_transfers_and_markers():
