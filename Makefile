@@ -7,7 +7,9 @@
 #   make test-chaos  - fault-domain resilience soak + BENCH_resilience.json
 #   make demo-faults - the fault-injection acceptance demo
 #   make trace       - observed trace demo: Perfetto JSON + bench record
-#   make bench-engine - unified-engine datapath micro-benchmark
+#   make bench-engine - unified-engine datapath micro-benchmark (gated)
+#   make test-diff   - differential suite: coalesced datapath vs
+#                      uncoalesced reference + golden fingerprints
 #   make lint        - unrlint determinism rules (+ ruff when installed)
 #   make typecheck   - mypy strict-lite gate (skipped when not installed)
 #   make check       - lint + typecheck + the UnrSanitizer acceptance run
@@ -16,7 +18,7 @@ PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 REPRO   = PYTHONPATH=src $(PYTHON) -m repro
 
-.PHONY: test test-fast test-all test-slow test-chaos demo-faults trace bench-engine lint typecheck check
+.PHONY: test test-fast test-all test-slow test-chaos test-diff demo-faults trace bench-engine lint typecheck check
 
 test: test-fast
 
@@ -41,10 +43,20 @@ demo-faults:
 trace:
 	$(REPRO) trace stream --perfetto trace_obs.json --bench BENCH_obs.json
 
-# The 24-events/put ceiling is the pre-refactor datapath cost plus slack
-# for one extra bookkeeping event; raising it needs a justification.
+# The 12-events/put ceiling is the coalesced datapath cost (10.50, see
+# tests/bench/fixtures/BENCH_engine.after.json) plus slack for one extra
+# bookkeeping event; raising it needs a justification.  The throughput
+# floor pins ops/simulated-second, which is set by the modelled platform
+# physics — a drop means the datapath added simulated time per op.
 bench-engine:
-	$(REPRO) engine-bench --out BENCH_engine.json --max-events-per-put 24
+	$(REPRO) engine-bench --out BENCH_engine.json \
+		--max-events-per-put 12 --min-ops-per-sim-sec 270000
+
+# Differential mode: coalesced/zero-copy datapath vs the uncoalesced
+# reference — identical wire fingerprints, token streams, clean
+# sanitizer.  Mismatches drop Perfetto traces into diff-artifacts/.
+test-diff:
+	$(PYTEST) -q tests/core/test_differential.py tests/core/test_fingerprints.py
 
 # ruff/mypy are optional locally (the container may not ship them); the
 # unrlint and sanitizer gates always run.  CI installs the full set.

@@ -23,14 +23,21 @@ UNR005  ``except Exception`` / bare ``except`` that can swallow
 UNR006  wall-clock sources inside the observability layer (``obs``) —
         traces must be stamped with ``env.now`` so an armed run stays
         fingerprint-identical to a disarmed one
-UNR007  CQ draining (``cq.get`` / ``cq.poll`` / ``cq.poll_batch``)
-        outside ``core/engine.py`` — completion records must flow
-        through the unified progress engine; a second drainer steals
-        records and changes dispatch order
+UNR007  CQ draining (``cq.get`` / ``cq.poll`` / ``cq.poll_batch`` /
+        ``cq.poll_batch_into``) outside ``core/engine.py`` —
+        completion records must flow through the unified progress
+        engine; a second drainer steals records and changes dispatch
+        order
 UNR008  retry/backoff loops (``while`` loops that call ``timeout()``)
         outside the reliability layer (``core/transport.py`` /
         ``core/health.py``) — ad-hoc retry loops bypass the watchdog's
         breaker feedback and dedup tokens
+UNR009  un-slotted classes in the simulator hot-path modules
+        (``sim/core.py``, ``sim/resources.py``, ``netsim/nic.py``,
+        ``netsim/node.py``) — per-event records must declare
+        ``__slots__`` (or ``@dataclass(slots=True)``); a ``__dict__``
+        per instance bloats the event heap and defeats the slab
+        allocator.  Exception classes are exempt (cold path).
 ======= ==============================================================
 
 Suppression: append ``# unrlint: disable=UNR003`` (comma-separated ids,
@@ -123,6 +130,14 @@ RULES: Dict[str, Rule] = {
             "breaker feedback and idempotence tokens, so it can duplicate "
             "notifications",
         ),
+        Rule(
+            "UNR009",
+            "un-slotted class in a simulator hot-path module",
+            "declare __slots__ (or use @dataclass(slots=True)) — these "
+            "modules allocate one record per simulated event, and an "
+            "instance __dict__ bloats the heap and defeats the slab "
+            "allocator's free-list reuse",
+        ),
     )
 }
 
@@ -161,6 +176,8 @@ class LintConfig:
     kernel itself); ``cq_allowed_suffixes`` likewise scope UNR007 to
     the unified progress engine, and ``retry_allowed_suffixes`` scope
     UNR008 (retry loops) to the reliability layer.
+    ``slots_scope_suffixes`` name the hot-path modules in which UNR009
+    requires every (non-exception) class to be slotted.
     """
 
     select: Optional[FrozenSet[str]] = None
@@ -171,6 +188,12 @@ class LintConfig:
     retry_allowed_suffixes: Tuple[str, ...] = (
         "core/transport.py",
         "core/health.py",
+    )
+    slots_scope_suffixes: Tuple[str, ...] = (
+        "sim/core.py",
+        "sim/resources.py",
+        "netsim/nic.py",
+        "netsim/node.py",
     )
 
     def enabled(self, rule_id: str) -> bool:
@@ -236,7 +259,7 @@ _SCHEDULE_SINKS = {"schedule", "_schedule", "heappush"}
 
 #: CompletionQueue consumers (``cq.push`` is the producer and always
 #: fine; only *draining* is reserved to the progress engine).
-_CQ_DRAIN_FUNCS = {"get", "poll", "poll_batch"}
+_CQ_DRAIN_FUNCS = {"get", "poll", "poll_batch", "poll_batch_into"}
 
 
 def _attr_chain(node: ast.AST) -> List[str]:
@@ -270,7 +293,8 @@ def _attr_tail(node: ast.AST) -> List[str]:
 class _Visitor(ast.NodeVisitor):
     def __init__(self, path: str, config: LintConfig, in_wallclock_scope: bool,
                  heapq_allowed: bool, in_obs_scope: bool = False,
-                 cq_allowed: bool = False, retry_allowed: bool = False) -> None:
+                 cq_allowed: bool = False, retry_allowed: bool = False,
+                 slots_scope: bool = False) -> None:
         self.path = path
         self.config = config
         self.in_wallclock_scope = in_wallclock_scope
@@ -278,6 +302,7 @@ class _Visitor(ast.NodeVisitor):
         self.heapq_allowed = heapq_allowed
         self.cq_allowed = cq_allowed
         self.retry_allowed = retry_allowed
+        self.slots_scope = slots_scope
         self.findings: List[Finding] = []
         # alias -> canonical module ("random", "numpy", "numpy.random",
         # "time", "datetime", "heapq")
@@ -486,6 +511,60 @@ class _Visitor(ast.NodeVisitor):
                         return "timeout"
         return None
 
+    # -- UNR009 --------------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self.slots_scope and not self._is_slotted(node):
+            self._flag(
+                "UNR009", node,
+                f"class {node.name} has no __slots__ in a hot-path module "
+                "— every instance carries a __dict__",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _base_name(base: ast.AST) -> str:
+        if isinstance(base, ast.Attribute):
+            return base.attr
+        if isinstance(base, ast.Name):
+            return base.id
+        return ""
+
+    def _is_slotted(self, node: ast.ClassDef) -> bool:
+        # Exception/warning classes are cold-path by definition and need
+        # a __dict__ for ``args``/custom attributes.
+        for base in node.bases:
+            name = self._base_name(base)
+            if name in ("BaseException", "Exception", "Warning") or name.endswith(
+                ("Error", "Exception", "Warning")
+            ):
+                return True
+        for deco in node.decorator_list:
+            if isinstance(deco, ast.Call):
+                tail = _attr_tail(deco.func)
+                name = tail[-1] if tail else (
+                    deco.func.id if isinstance(deco.func, ast.Name) else ""
+                )
+                if name == "dataclass" and any(
+                    kw.arg == "slots"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in deco.keywords
+                ):
+                    return True
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in stmt.targets
+            ):
+                return True
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__slots__"
+            ):
+                return True
+        return False
+
     # -- UNR005 --------------------------------------------------------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
         broad = False
@@ -546,6 +625,11 @@ def _retry_allowed(path: str, config: LintConfig) -> bool:
     return any(norm.endswith(suffix) for suffix in config.retry_allowed_suffixes)
 
 
+def _slots_scope(path: str, config: LintConfig) -> bool:
+    norm = _norm(path)
+    return any(norm.endswith(suffix) for suffix in config.slots_scope_suffixes)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -574,6 +658,7 @@ def lint_source(
         in_obs_scope=_in_obs_scope(path, config),
         cq_allowed=_cq_allowed(path, config),
         retry_allowed=_retry_allowed(path, config),
+        slots_scope=_slots_scope(path, config),
     )
     visitor.visit(tree)
     per_line, per_file = _parse_suppressions(source)

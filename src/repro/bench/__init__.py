@@ -8,6 +8,12 @@ from .enginebench import (
     write_engine_bench,
 )
 from .faultdemo import DEFAULT_FAULTS, fault_demo
+from .fingerprints import (
+    GOLDEN_SCHEMA,
+    collect_fingerprints,
+    compare_corpus,
+    write_corpus,
+)
 from .latency import DEFAULT_SIZES, latency_table, mpi_rma_pingpong, unr_pingpong
 from .multinic import aggregation_sweep, imbalance_sweep, pingpong_with_calc
 from .powerllel_bench import (
@@ -34,11 +40,14 @@ __all__ = [
     "DEFAULT_FAULTS",
     "DEFAULT_SIZES",
     "ENGINE_BENCH_SCHEMA",
+    "GOLDEN_SCHEMA",
     "RESILIENCE_SCHEMA",
     "FIG6_GRIDS",
     "FIG7_SERIES",
     "TRACE_DEMOS",
     "aggregation_sweep",
+    "collect_fingerprints",
+    "compare_corpus",
     "engine_bench",
     "fault_demo",
     "fig6_platform",
@@ -59,6 +68,7 @@ __all__ = [
     "validate_engine_bench_file",
     "validate_resilience_bench",
     "validate_resilience_bench_file",
+    "write_corpus",
     "write_engine_bench",
     "write_resilience_bench",
 ]

@@ -13,6 +13,7 @@
     python -m repro chaos                       # resilience soak -> BENCH_resilience.json
     python -m repro trace stream                # observed demo + Perfetto JSON
     python -m repro engine-bench                # unified-engine datapath cost
+    python -m repro fingerprints                # golden wire-fingerprint diff
     python -m repro lint src/repro              # unrlint determinism rules
     python -m repro check                       # UnrSanitizer runtime checks
 """
@@ -174,10 +175,30 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="N",
                    help="fail (exit 1) when sim_events_per_put exceeds N "
                         "(the CI datapath-bloat gate)")
+    p.add_argument("--min-ops-per-sim-sec", type=float, default=None,
+                   metavar="N",
+                   help="fail (exit 1) when the PUT path's ops/simulated-"
+                        "second drops below N (the throughput-floor gate; "
+                        "this metric is set by the platform's modelled "
+                        "latency/bandwidth, so the floor catches datapath "
+                        "changes that add simulated time per op)")
+
+    p = sub.add_parser(
+        "fingerprints",
+        help="golden wire-fingerprint corpus: recompute four schedules "
+             "per Table III platform and diff against the committed "
+             "golden file (--write regenerates it)",
+    )
+    p.add_argument("--path", default=None, metavar="PATH",
+                   help="golden corpus file (default: "
+                        "tests/core/fixtures/golden_fingerprints.json)")
+    p.add_argument("--write", action="store_true",
+                   help="regenerate the golden file from the current run "
+                        "instead of diffing against it")
 
     p = sub.add_parser(
         "lint",
-        help="unrlint: static determinism rules UNR001-UNR008 over Python sources",
+        help="unrlint: static determinism rules UNR001-UNR009 over Python sources",
     )
     p.add_argument("paths", nargs="*", default=["src/repro"],
                    help="files or directories to lint (default: src/repro)")
@@ -511,11 +532,43 @@ def cmd_engine_bench(args) -> int:
     write_engine_bench(record, args.out)
     print(f"  -> {args.out} (put fingerprint "
           f"{record['paths']['put']['fingerprint'][:16]}…)")
+    failed = False
     if (args.max_events_per_put is not None
             and record["sim_events_per_put"] > args.max_events_per_put):
         print(f"  verdict FAILED: sim_events_per_put "
               f"{record['sim_events_per_put']:.2f} > {args.max_events_per_put}")
+        failed = True
+    put_rate = record["paths"]["put"]["ops_per_sim_sec"]
+    if (args.min_ops_per_sim_sec is not None
+            and put_rate < args.min_ops_per_sim_sec):
+        print(f"  verdict FAILED: put ops_per_sim_sec "
+              f"{put_rate:.0f} < {args.min_ops_per_sim_sec:.0f}")
+        failed = True
+    return 1 if failed else 0
+
+
+def cmd_fingerprints(args) -> int:
+    from .bench.fingerprints import (
+        GOLDEN_PATH,
+        collect_fingerprints,
+        compare_corpus,
+        write_corpus,
+    )
+
+    path = args.path or GOLDEN_PATH
+    entries = collect_fingerprints()
+    if args.write:
+        write_corpus(path, entries=entries)
+        print(f"fingerprints: wrote {len(entries)} golden entries -> {path}")
+        return 0
+    problems = compare_corpus(path, entries=entries)
+    if problems:
+        print(f"fingerprints: {len(problems)} mismatch(es) against {path}:")
+        for line in problems:
+            print(f"  {line}")
+        print("  (intentional wire change? regenerate with --write)")
         return 1
+    print(f"fingerprints: {len(entries)} entries match {path}")
     return 0
 
 
@@ -588,6 +641,7 @@ _COMMANDS = {
     "chaos": cmd_chaos,
     "trace": cmd_trace,
     "engine-bench": cmd_engine_bench,
+    "fingerprints": cmd_fingerprints,
     "fig6": cmd_fig6,
     "scaling": cmd_scaling,
     "lint": cmd_lint,

@@ -40,7 +40,7 @@ from typing import (
     Tuple,
 )
 
-from ..netsim import CompletionRecord, Node
+from ..netsim import CompletionRecord, Node, alloc_record, recycle_record
 from ..sim import Environment
 from ..units import US
 from .errors import OpContext, UnrPeerDeadError, UnrTimeoutError, UnrUsageError
@@ -63,6 +63,7 @@ __all__ = [
     "TransferEngine",
     "ProgressEngine",
     "PollingEngine",
+    "coalesce_runs",
 ]
 
 CTRL_BYTES = 24  # wire size of a (p, a) control message
@@ -73,6 +74,31 @@ FALLBACK_RAIL = -1
 
 def _target_label(rail: int) -> str:
     return "fallback" if rail == FALLBACK_RAIL else f"rail{rail}"
+
+
+def coalesce_runs(stripes: Tuple["StripePlan", ...]) -> List[List["StripePlan"]]:
+    """Group consecutive fragments that form one contiguous same-rail run.
+
+    A run is a maximal sequence of plan-order fragments on the same rail
+    whose byte ranges abut (``offset == prev.offset + prev.size``).  The
+    engine schedules each run as one batch: per-fragment wire postings
+    are unchanged (wire equivalence — same fragments, same rails, same
+    order), but token minting and per-post branch work are amortized
+    over the run.  Plan order is preserved exactly, so coalesced and
+    uncoalesced posting produce identical token assignments.
+    """
+    runs: List[List[StripePlan]] = []
+    cur: List[StripePlan] = []
+    for sp in stripes:
+        if cur and sp.rail == cur[-1].rail and sp.offset == cur[-1].offset + cur[-1].size:
+            cur.append(sp)
+        else:
+            if cur:
+                runs.append(cur)
+            cur = [sp]
+    if cur:
+        runs.append(cur)
+    return runs
 
 #: (node index, signal id, addend) — a software MMAS add to apply.
 AddSpec = Tuple[int, int, int]
@@ -183,6 +209,13 @@ class TransferEngine:
         self.unr = unr
         self.env = unr.env
         self.job = unr.job
+        #: datapath knobs, cached off the owning Unr (attribute loads on
+        #: the post hot path).  ``coalesce`` batches contiguous same-rail
+        #: fragment runs; ``zero_copy`` (opt-in: the caller owes the
+        #: strict RMA buffer-reuse contract) posts unreliable PUT
+        #: payloads as live slices of the source instead of snapshots.
+        self.coalesce: bool = getattr(unr, "coalesce", True)
+        self.zero_copy: bool = getattr(unr, "zero_copy", False)
         #: in-flight reliable fragments, keyed by a monotone id; retired
         #: on delivery, cancelled by :meth:`drain` against dead peers.
         self._inflight: Dict[int, _InflightFragment] = {}
@@ -241,6 +274,7 @@ class TransferEngine:
             threshold=unr.stripe_threshold,
             multi_channel=multi_ok,
             max_fragments=max_k,
+            mtu=(unr.stripe_mtu or 0) if multi_ok else 0,
         )
         k = len(stripes)
         r_addends = submessage_addends(k, unr.n_bits) if rsid is not None else None
@@ -447,36 +481,31 @@ class TransferEngine:
 
     def _post_put(self, op: TransferOp) -> None:
         unr = self.unr
-        env = self.env
         unr.stats["puts"] += 1
         unr.stats["fragments"] += len(op.stripes)
-        for sp in op.stripes:
-            if op.src_bytes is not None and sp.view is not None:
-                payload = op.src_bytes[sp.offset : sp.offset + sp.size].copy()
-            else:
-                payload = None
-            rtok = ltok = None
-            delivered = None
-            if op.reliable:
-                rtok = unr._next_token() if op.rsid is not None else None
-                ltok = unr._next_token() if op.lsid is not None else None
-                delivered = env.event()
-                deliver = self._first_delivery(sp.view, delivered)
-            elif sp.view is not None:
-                deliver = self._write_view(sp.view)
-            else:
-                deliver = None
-            post = self._put_poster(op, sp, payload, deliver, rtok, ltok)
-            if op.reliable:
-                first = self._route(op, sp.rail, "PUT", sp.size)
-                frag = self._track_fragment(op, sp, delivered, rtok, ltok)
-                post(first)
-                self._watchdog(
-                    post, delivered, sp.size, op.src_rank, op.dst_rank,
-                    first, "PUT", frag=frag,
-                )
-            else:
-                post(self._gate_unreliable(op, sp.rail, "PUT", sp.size))
+        # Idempotence tokens per fragment: remote then local, in plan
+        # order — coalescing mints each run's tokens as one block with
+        # the same values sequential minting would produce.
+        need_r = op.reliable and op.rsid is not None
+        need_l = op.reliable and op.lsid is not None
+        per = int(need_r) + int(need_l)
+        if self.coalesce and len(op.stripes) > 1:
+            runs = coalesce_runs(op.stripes)
+            if len(runs) < len(op.stripes):
+                unr.stats["coalesced_runs"] += len(runs)
+        else:
+            runs = [list(op.stripes)]
+        for run in runs:
+            base = unr._next_token_block(per * len(run)) if per else 0
+            for j, sp in enumerate(run):
+                rtok = ltok = None
+                if per:
+                    t = base + per * j
+                    if need_r:
+                        rtok = t
+                    if need_l:
+                        ltok = t + 1 if need_r else t
+                self._post_put_fragment(op, sp, rtok, ltok)
         if op.ctrl_remote:
             self.post_op(
                 self._signal_ctrl_op(
@@ -484,6 +513,47 @@ class TransferEngine:
                     op.rsid, -1,
                 )
             )
+
+    def _post_put_fragment(
+        self,
+        op: TransferOp,
+        sp: StripePlan,
+        rtok: Optional[int],
+        ltok: Optional[int],
+    ) -> None:
+        """Post one PUT fragment (payload capture, watchdog, failover)."""
+        env = self.env
+        if op.src_bytes is not None and sp.view is not None:
+            frag = op.src_bytes[sp.offset : sp.offset + sp.size]
+            # Zero-copy path: unreliable fragments ride a live view of
+            # the source (the RMA contract forbids mutating the buffer
+            # before local completion anyway).  Reliable fragments keep
+            # the snapshot — a retransmit must resend the bytes as they
+            # were at post time, not whatever the app wrote since.
+            payload = frag if (self.zero_copy and not op.reliable) else frag.copy()
+        else:
+            payload = None
+        delivered = None
+        if op.reliable:
+            delivered = env.event()
+            deliver: Optional[Callable[[Any], None]] = self._first_delivery(
+                sp.view, delivered
+            )
+        elif sp.view is not None:
+            deliver = self._write_view(sp.view)
+        else:
+            deliver = None
+        post = self._put_poster(op, sp, payload, deliver, rtok, ltok)
+        if op.reliable:
+            first = self._route(op, sp.rail, "PUT", sp.size)
+            frag_entry = self._track_fragment(op, sp, delivered, rtok, ltok)
+            post(first)
+            self._watchdog(
+                post, delivered, sp.size, op.src_rank, op.dst_rank,
+                first, "PUT", frag=frag_entry,
+            )
+        else:
+            post(self._gate_unreliable(op, sp.rail, "PUT", sp.size))
 
     def _put_poster(
         self,
@@ -630,14 +700,17 @@ class TransferEngine:
         src_node, dst_node = op.src_node, op.dst_node
 
         def deliver(_payload: Any) -> None:
-            rec = CompletionRecord(
-                kind="ctrl",
+            rec = alloc_record(
+                "ctrl",
                 payload=(sid, addend),
                 src_node=src_node,
                 dst_node=dst_node,
                 complete_time=env.now,
             )
-            env.process(dst_nic.cq.push(rec), name="ctrl-cqe")
+            # Synchronous enqueue (no kernel events); a full CQ falls
+            # back to the blocking push for backpressure.
+            if not dst_nic.cq.try_push(rec):
+                env.process(dst_nic.cq.push(rec), name="ctrl-cqe")
 
         unr.channel.put(
             op.src_rank,
@@ -1062,6 +1135,16 @@ class ProgressEngine:
         self.health = health
         self.n_dispatched = 0
         self.total_delay = 0.0
+        #: preallocated sweep buffer — one per engine, reused by every
+        #: rail's sweeper (sweepers never interleave mid-drain).
+        self._batch: List[Optional[CompletionRecord]] = (
+            [None] * config.sweep_batch
+        )
+        #: memoized (kind -> handler) of the last dispatched record; CQ
+        #: bursts are overwhelmingly same-kind, so this skips the dict
+        #: lookup on the hot path.  Invalidated by :meth:`register`.
+        self._last_kind: Optional[str] = None
+        self._last_handler: Optional[Callable[[int, CompletionRecord], None]] = None
         if config.mode == "none":
             return
         if config.mode == "reserved":
@@ -1078,9 +1161,13 @@ class ProgressEngine:
     ) -> None:
         """Dispatch records of ``kind`` to ``handler(node_index, record)``."""
         self._handlers[kind] = handler
+        self._last_kind = None
+        self._last_handler = None
 
     def _sweep_loop(self, nic: Any) -> Generator[Any, Any, None]:
         delay = self.config.dispatch_delay
+        batch = self._batch
+        limit = len(batch)
         while True:  # unrlint: disable=UNR008
             record = yield nic.cq.get()
             if self.obs is not None:
@@ -1091,26 +1178,38 @@ class ProgressEngine:
                 yield self.env.timeout(nic.cq.stalled_until - self.env.now)
             if delay > 0:
                 yield self.env.timeout(delay)
-            self._dispatch(record)
-            if self.health is not None:
-                self.health.on_cq_record(nic.index, record)
+            self._dispatch(nic, record)
             # Drain whatever else arrived during the delay in one
-            # batched sweep — no extra simulator events per record.
-            for extra in nic.cq.poll_batch():
-                self._dispatch(extra)
-                if self.health is not None:
-                    self.health.on_cq_record(nic.index, extra)
+            # batched sweep — no extra simulator events per record, no
+            # allocations (records land in the preallocated buffer).
+            # Anything beyond the batch limit re-wakes the sweeper.
+            n = nic.cq.poll_batch_into(batch, limit)
+            for i in range(n):
+                extra = batch[i]
+                batch[i] = None
+                self._dispatch(nic, extra)
 
-    def _dispatch(self, record: CompletionRecord) -> None:
+    def _dispatch(self, nic: Any, record: CompletionRecord) -> None:
         self.n_dispatched += 1
         delay = self.env.now - record.complete_time
         self.total_delay += delay
         if self.obs is not None:
             self.obs.count("core.poll_dispatches")
             self.obs.observe("core.poll_dispatch_delay_us", delay / US)
-        handler = self._handlers.get(record.kind, self.default_handler)
+        kind = record.kind
+        if kind != self._last_kind:
+            self._last_kind = kind
+            self._last_handler = self._handlers.get(kind, self.default_handler)
+        handler = self._last_handler
         if handler is not None:
             handler(self.node.index, record)
+        if self.health is not None:
+            self.health.on_cq_record(nic.index, record)
+        # Slab-allocated records go back to the free list the moment
+        # they are dispatched (no-op for un-pooled records): handlers
+        # consume record fields synchronously and must not retain the
+        # record object itself.
+        recycle_record(record)
 
 
 #: Backwards-compatible name: the progress core grew out of the old

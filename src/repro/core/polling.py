@@ -50,10 +50,16 @@ class PollingConfig:
     #: also thrashes shared caches and memory bandwidth (the reason the
     #: paper's reserved-core configuration wins on HPC-IB, Fig. 6).
     busy_interference: float = 2.5
+    #: max completion records drained per sweep wakeup; the progress
+    #: engine reuses one preallocated buffer of this size, so a larger
+    #: batch costs memory, not allocations.
+    sweep_batch: int = 64
 
     def __post_init__(self) -> None:
         if self.mode not in ("busy", "reserved", "interval", "none"):
             raise ValueError(f"unknown polling mode {self.mode!r}")
+        if self.sweep_batch < 1:
+            raise ValueError("sweep_batch must be >= 1")
         if self.mode == "interval":
             if self.interval_us <= 0:
                 raise ValueError("interval_us must be positive")

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from ..netsim import CompletionRecord
+from ..netsim import alloc_record
 from ..runtime import Job
 from ..sim import Event
 from .capabilities import Capability, support_level
@@ -114,8 +114,8 @@ class RmaChannel:
         dst_nic = self.job.nic_of(dst_rank, rail)
         remote_record = None
         if remote_custom is not None:
-            remote_record = CompletionRecord(
-                kind="put_remote",
+            remote_record = alloc_record(
+                "put_remote",
                 custom=remote_custom,
                 nbytes=nbytes,
                 src_node=src_nic.node.index,
@@ -125,8 +125,8 @@ class RmaChannel:
             )
         local_record = None
         if local_custom is not None:
-            local_record = CompletionRecord(
-                kind="put_local",
+            local_record = alloc_record(
+                "put_local",
                 custom=local_custom,
                 nbytes=nbytes,
                 src_node=src_nic.node.index,
@@ -172,8 +172,8 @@ class RmaChannel:
         dst_nic = self.job.nic_of(dst_rank, rail)
         remote_record = None
         if remote_custom is not None:
-            remote_record = CompletionRecord(
-                kind="get_remote",
+            remote_record = alloc_record(
+                "get_remote",
                 custom=remote_custom,
                 nbytes=nbytes,
                 src_node=src_nic.node.index,
@@ -183,8 +183,8 @@ class RmaChannel:
             )
         local_record = None
         if local_custom is not None:
-            local_record = CompletionRecord(
-                kind="get_local",
+            local_record = alloc_record(
+                "get_local",
                 custom=local_custom,
                 nbytes=nbytes,
                 src_node=src_nic.node.index,

@@ -17,7 +17,14 @@ from .faults import (
     NodeCrash,
     RailFailure,
 )
-from .nic import CompletionQueue, CompletionRecord, CqOverflowError, Nic
+from .nic import (
+    CompletionQueue,
+    CompletionRecord,
+    CqOverflowError,
+    Nic,
+    alloc_record,
+    recycle_record,
+)
 from .node import CpuSet, Node
 from .spec import GBPS, US, ClusterSpec, FabricSpec, NicSpec, NodeSpec
 from .trace import MessageTrace, TraceRecord
@@ -45,4 +52,6 @@ __all__ = [
     "NodeSpec",
     "RailFailure",
     "TraceRecord",
+    "alloc_record",
+    "recycle_record",
 ]

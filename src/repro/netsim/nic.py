@@ -26,8 +26,8 @@ polling thread needed, reproducing the paper's §IV-C proposal.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Optional, TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -36,14 +36,21 @@ from ..sim import Environment, Event, Store
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .node import Node
 
-__all__ = ["CompletionRecord", "CompletionQueue", "Nic", "CqOverflowError"]
+__all__ = [
+    "CompletionRecord",
+    "CompletionQueue",
+    "Nic",
+    "CqOverflowError",
+    "alloc_record",
+    "recycle_record",
+]
 
 
 class CqOverflowError(RuntimeError):
     """Raised when a CQ overflows and the cluster is in strict mode."""
 
 
-@dataclass
+@dataclass(slots=True)
 class CompletionRecord:
     """One completion-queue entry.
 
@@ -54,6 +61,11 @@ class CompletionRecord:
     payload.  Records are drained by the per-node
     :class:`~repro.core.engine.ProgressEngine`, which routes each kind to
     its registered handler.
+
+    Hot-path records are slab-allocated through :func:`alloc_record` and
+    returned to the free list by :func:`recycle_record` once dispatched;
+    ``dataclasses.replace`` copies (the fault injector's re-stamped
+    deliveries) come out un-pooled and are left to the garbage collector.
     """
 
     kind: str
@@ -68,6 +80,73 @@ class CompletionRecord:
     #: opaque idempotence token; a faulted fabric may re-deliver the same
     #: record, and the signal path dedups on this (None = never dedup).
     token: Any = None
+    #: slab bookkeeping: True only for live records handed out by
+    #: ``alloc_record`` (``init=False`` so ``dataclasses.replace`` copies
+    #: never claim pool membership and can't be double-recycled).
+    _pooled: bool = field(init=False, default=False, repr=False, compare=False)
+
+
+#: Free list for :func:`alloc_record`; bounded so a pathological burst
+#: cannot pin memory forever.
+_RECORD_POOL: List[CompletionRecord] = []
+_RECORD_POOL_LIMIT = 4096
+
+
+def alloc_record(
+    kind: str,
+    *,
+    custom: int = 0,
+    nbytes: int = 0,
+    src_node: int = -1,
+    dst_node: int = -1,
+    tag: Any = None,
+    payload: Any = None,
+    post_time: float = 0.0,
+    complete_time: float = 0.0,
+    token: Any = None,
+) -> CompletionRecord:
+    """Slab-allocate a :class:`CompletionRecord` (free-list reuse).
+
+    Identical field semantics to the constructor; the returned record is
+    marked pool-owned so :func:`recycle_record` can reclaim it after the
+    progress engine dispatches it.
+    """
+    if _RECORD_POOL:
+        rec = _RECORD_POOL.pop()
+        rec.kind = kind
+        rec.custom = custom
+        rec.nbytes = nbytes
+        rec.src_node = src_node
+        rec.dst_node = dst_node
+        rec.tag = tag
+        rec.payload = payload
+        rec.post_time = post_time
+        rec.complete_time = complete_time
+        rec.token = token
+    else:
+        rec = CompletionRecord(
+            kind, custom, nbytes, src_node, dst_node, tag, payload,
+            post_time, complete_time, token,
+        )
+    rec._pooled = True
+    return rec
+
+
+def recycle_record(rec: CompletionRecord) -> None:
+    """Return a pool-owned record to the free list (no-op otherwise).
+
+    Clears the reference-carrying fields so the pool never pins payloads
+    or tokens.  Safe against double-recycling: the first call clears the
+    pool flag.
+    """
+    if not rec._pooled:
+        return
+    rec._pooled = False
+    rec.tag = None
+    rec.payload = None
+    rec.token = None
+    if len(_RECORD_POOL) < _RECORD_POOL_LIMIT:
+        _RECORD_POOL.append(rec)
 
 
 class CompletionQueue:
@@ -81,6 +160,11 @@ class CompletionQueue:
     :class:`~repro.core.engine.ProgressEngine`; unrlint rule UNR007
     flags any other caller.
     """
+
+    __slots__ = (
+        "env", "depth", "_store", "high_water", "n_pushed",
+        "n_overflow_stalls", "stall_time", "stalled_until",
+    )
 
     def __init__(self, env: Environment, depth: int):
         self.env = env
@@ -123,6 +207,22 @@ class CompletionQueue:
         self.n_pushed += 1
         self.high_water = max(self.high_water, len(self._store))
 
+    def try_push(self, record: CompletionRecord) -> bool:
+        """Synchronous fast-path enqueue; ``False`` when the CQ is full.
+
+        The accounting matches :meth:`push` exactly, but no put event is
+        scheduled: a waiting sweeper is woken through the store's getter
+        queue, which is the one kernel event a delivery inherently
+        costs.  On ``False`` the caller must fall back to the blocking
+        :meth:`push` so overflow keeps its backpressure semantics
+        (stall counters, completion only after the record is queued).
+        """
+        if not self._store.put_nowait(record):
+            return False
+        self.n_pushed += 1
+        self.high_water = max(self.high_water, len(self._store))
+        return True
+
     def poll(self) -> Optional[CompletionRecord]:
         """Non-blocking: pop one record or return ``None``."""
         if self.is_stalled:
@@ -141,20 +241,63 @@ class CompletionQueue:
             out.append(rec)
         return out
 
+    def poll_batch_into(self, buf: list, limit: int) -> int:
+        """Drain up to ``limit`` records into the preallocated ``buf``.
+
+        Allocation-free variant of :meth:`poll_batch` for the progress
+        engine's batched sweep: returns the number of records written to
+        ``buf[0:n]``.  Stalled CQs hold their records back, exactly like
+        :meth:`poll_batch`.
+        """
+        if self.is_stalled:
+            return 0
+        store = self._store
+        n = 0
+        while n < limit:
+            rec = store.try_get()
+            if rec is None:
+                break
+            buf[n] = rec
+            n += 1
+        return n
+
     def get(self) -> Event:
         """Blocking pop (used by event-driven pollers)."""
         return self._store.get()
 
 
-@dataclass
+@dataclass(slots=True)
 class _PortState:
     """Busy-until bookkeeping for one direction of one NIC."""
 
     free_at: float = 0.0
 
 
-class Nic:
-    """One RDMA-capable network interface."""
+def _blocking_push(cq: CompletionQueue, record: CompletionRecord) -> Generator:
+    """Overflow fallback: the blocking CQ push as its own process."""
+    yield from cq.push(record)
+
+
+def _push_then_resolve(
+    cq: CompletionQueue, record: CompletionRecord, done: Event, value: Any
+) -> Generator:
+    """Overflow fallback preserving completion order: the ``done`` event
+    must not fire until the record is actually queued.  ``value=None``
+    resolves with the (possibly later) enqueue time, matching the old
+    GET semantics; PUT passes its fixed ``tx_end``."""
+    yield from cq.push(record)
+    done.resolve(cq.env.now if value is None else value)
+
+
+class Nic:  # unrlint: disable=UNR009
+    """One RDMA-capable network interface.
+
+    Deliberately un-slotted: the fault-injection and observability
+    layers wrap a live NIC by *assigning* ``nic.post_put``/``nic.post_get``
+    on the instance, which needs a ``__dict__``.  There is exactly one
+    Nic per rail per node, so the per-instance dict is not a hot-path
+    allocation the way records and events are.
+    """
 
     def __init__(
         self,
@@ -237,8 +380,7 @@ class Nic:
         if dst.node is self.node:
             # Intra-node: a memcpy through shared memory — it does not
             # occupy the NIC tx/rx ports (real stacks use CMA/XPMEM).
-            lb = self.node.__dict__.setdefault("_loopback_free", 0.0)
-            start = max(now, lb)
+            start = max(now, self.node._loopback_free)
             tx_end = start + nbytes / self.fabric.intra_node_bandwidth
             self.node._loopback_free = tx_end
             deliver_at = tx_end + self.fabric.intra_node_latency
@@ -291,17 +433,22 @@ class Nic:
         self.tx_bytes += nbytes
         done = env.event()
 
-        def local_side():
-            yield env.timeout(tx_end - now)
+        # Each side is one deferred callback — one heap entry instead of
+        # a generator process (Initialize + yields + completion events).
+        def local_side(_value: Any) -> None:
             if local_action is not None and self.spec.atomic_offload:
                 local_action()
             elif local_record is not None:
                 local_record.complete_time = env.now
-                yield from self.cq.push(local_record)
-            done.succeed(tx_end)
+                if not self.cq.try_push(local_record):
+                    env.process(
+                        _push_then_resolve(self.cq, local_record, done, tx_end),
+                        name="nic-put-local",
+                    )
+                    return
+            done.resolve(tx_end)
 
-        def remote_side():
-            yield env.timeout(deliver_at - now)
+        def remote_side(_value: Any) -> None:
             dst.rx_msgs += 1
             dst.rx_bytes += nbytes
             if on_deliver is not None:
@@ -310,10 +457,14 @@ class Nic:
                 remote_action()
             elif remote_record is not None:
                 remote_record.complete_time = env.now
-                yield from dst.cq.push(remote_record)
+                if not dst.cq.try_push(remote_record):
+                    env.process(
+                        _blocking_push(dst.cq, remote_record),
+                        name="nic-put-remote",
+                    )
 
-        env.process(local_side(), name="nic-put-local")
-        env.process(remote_side(), name="nic-put-remote")
+        env.defer(tx_end - now, local_side)
+        env.defer(deliver_at - now, remote_side)
         return done
 
     # ------------------------------------------------------------------
@@ -365,31 +516,39 @@ class Nic:
         self.rx_msgs += 1
         self.rx_bytes += nbytes
         done = env.event()
-        box = {}
+        fetched: Any = None
 
-        def remote_side():
-            yield env.timeout(resp_end - now)
+        def remote_side(_value: Any) -> None:
+            nonlocal fetched
             if fetch is not None:
-                box["data"] = fetch()
+                fetched = fetch()
             if remote_action is not None and dst.spec.atomic_offload:
                 remote_action()
             elif remote_record is not None:
                 remote_record.complete_time = env.now
-                yield from dst.cq.push(remote_record)
+                if not dst.cq.try_push(remote_record):
+                    env.process(
+                        _blocking_push(dst.cq, remote_record),
+                        name="nic-get-remote",
+                    )
 
-        def local_side():
-            yield env.timeout(deliver_at - now)
+        def local_side(_value: Any) -> None:
             if on_deliver is not None:
-                on_deliver(box.get("data"))
+                on_deliver(fetched)
             if local_action is not None and self.spec.atomic_offload:
                 local_action()
             elif local_record is not None:
                 local_record.complete_time = env.now
-                yield from self.cq.push(local_record)
-            done.succeed(env.now)
+                if not self.cq.try_push(local_record):
+                    env.process(
+                        _push_then_resolve(self.cq, local_record, done, None),
+                        name="nic-get-local",
+                    )
+                    return
+            done.resolve(env.now)
 
-        env.process(remote_side(), name="nic-get-remote")
-        env.process(local_side(), name="nic-get-local")
+        env.defer(resp_end - now, remote_side)
+        env.defer(deliver_at - now, local_side)
         return done
 
     def __repr__(self) -> str:

@@ -30,6 +30,8 @@ class CpuSet:
     ``duty`` < 1 for interval polling).
     """
 
+    __slots__ = ("env", "n_cores", "reserved", "polling_load", "busy_seconds")
+
     def __init__(self, env: Environment, n_cores: int):
         if n_cores < 1:
             raise ValueError("need at least one core")
@@ -81,6 +83,11 @@ class CpuSet:
 class Node:
     """One node: an index, a :class:`CpuSet` and one or more NIC rails."""
 
+    __slots__ = (
+        "env", "index", "spec", "cpu", "_rng", "nics", "_nic_spec",
+        "fabric", "crashed", "_loopback_free",
+    )
+
     def __init__(self, env: Environment, index: int, spec, fabric, seed: int):
         from .nic import Nic  # local import to avoid cycle
 
@@ -96,6 +103,9 @@ class Node:
         #: every rail is dead and even the ordered (control/fallback) lane
         #: drops traffic to and from this node.
         self.crashed = False
+        #: busy-until horizon of the intra-node loopback memcpy path
+        #: (shared across rails: loopback bypasses the NIC ports).
+        self._loopback_free = 0.0
 
     def _attach_nics(self, nic_spec, count: int) -> None:
         from .nic import Nic

@@ -14,6 +14,7 @@ from .core import (
     AllOf,
     AnyOf,
     Condition,
+    Deferred,
     Environment,
     Event,
     Interrupt,
@@ -28,6 +29,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Condition",
+    "Deferred",
     "Environment",
     "Event",
     "FilterStore",

@@ -27,12 +27,13 @@ Example
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, cast
 
 __all__ = [
     "Environment",
     "Event",
     "Timeout",
+    "Deferred",
     "Process",
     "Condition",
     "AllOf",
@@ -120,6 +121,28 @@ class Event:
         self.env._schedule(self)
         return self
 
+    def resolve(self, value: Any = None) -> "Event":
+        """Trigger successfully, skipping the heap when nothing listens.
+
+        Semantically :meth:`succeed`, with one fast path: when no
+        callback has been registered yet the event is marked *processed*
+        in place instead of scheduling a kernel event whose only job
+        would be flipping that flag.  Late waiters stay safe — every
+        kernel wait path (:meth:`Process._wait_on`, :class:`Condition`)
+        already handles processed events.  Hot completion events (the
+        NIC ``done`` events) use this so unobserved completions cost
+        zero heap traffic.
+        """
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if self.callbacks:
+            return self.succeed(value)
+        self._ok = True
+        self._value = value
+        self._scheduled = True
+        self.callbacks = None
+        return self
+
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception.
 
@@ -170,6 +193,44 @@ class Timeout(Event):
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
+
+
+def _run_deferred(event: "Event") -> None:
+    deferred = cast("Deferred", event)
+    deferred._fn(deferred._value)
+
+
+class Deferred(Event):
+    """A pre-triggered event that runs ``fn(value)`` when it fires.
+
+    The single-heap-entry alternative to wrapping a delayed callback in
+    a :class:`Process`: a process costs an Initialize event, one event
+    per yield and a final completion event, while a deferred costs
+    exactly one heap entry.  The NIC delivery paths
+    (:mod:`repro.netsim.nic`) are built on this.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(
+        self,
+        env: "Environment",
+        delay: float,
+        fn: Callable[[Any], None],
+        value: Any = None,
+    ) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self._fn = fn
+        self._ok = True
+        self._value = value
+        assert self.callbacks is not None
+        self.callbacks.append(_run_deferred)
+        env._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Deferred fn={getattr(self._fn, '__name__', self._fn)!r}>"
 
 
 class Initialize(Event):
@@ -384,6 +445,8 @@ class AnyOf(Condition):
 class Environment:
     """The simulation environment: clock plus event heap."""
 
+    __slots__ = ("_now", "_heap", "_seq", "_active", "obs")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._heap: List[tuple] = []
@@ -412,6 +475,12 @@ class Environment:
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
+
+    def defer(
+        self, delay: float, fn: Callable[[Any], None], value: Any = None
+    ) -> Deferred:
+        """Run ``fn(value)`` after ``delay`` for one heap entry."""
+        return Deferred(self, delay, fn, value)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)

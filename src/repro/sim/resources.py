@@ -49,6 +49,8 @@ class Store:
     blocks while it is empty.  Waiters are served in FIFO order.
     """
 
+    __slots__ = ("env", "capacity", "items", "_getters", "_putters")
+
     def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
         if capacity <= 0:
             raise SimulationError("capacity must be positive")
@@ -85,6 +87,20 @@ class Store:
             return item
         return None
 
+    def put_nowait(self, item: Any) -> bool:
+        """Synchronous put: store ``item`` and serve waiting getters
+        without creating a put event.  Returns ``False`` when the store
+        is full — the caller must then fall back to the blocking
+        :meth:`put` to keep backpressure semantics.  When it succeeds,
+        no putter can be waiting (putters only queue while full), so
+        FIFO fairness is preserved.
+        """
+        if self.is_full:
+            return False
+        self._store_item(item)
+        self._dispatch()
+        return True
+
     # -- internals ----------------------------------------------------------
     def _store_item(self, item: Any) -> None:
         self.items.append(item)
@@ -116,6 +132,8 @@ class PriorityStore(Store):
     object; internally a heap with an insertion sequence breaks ties so
     equal priorities stay FIFO.
     """
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
         super().__init__(env, capacity)
@@ -166,6 +184,8 @@ class FilterStore(Store):
 
     Used for MPI receive matching on ``(source, tag)``.
     """
+
+    __slots__ = ()
 
     def get(self, filter: Callable[[Any], bool] = lambda item: True) -> StoreGet:  # noqa: A002
         evt = FilterStoreGet(self.env, filter)
@@ -220,6 +240,8 @@ class Resource:
         finally:
             cores.release(req)
     """
+
+    __slots__ = ("env", "capacity", "in_use", "_waiters")
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:

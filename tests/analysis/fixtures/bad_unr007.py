@@ -1,13 +1,14 @@
-"""Fixture: CQ draining outside the progress engine (UNR007 x3).
+"""Fixture: CQ draining outside the progress engine (UNR007 x4).
 
 ``cq.push`` is the producer side and stays legal everywhere.
 """
 
 
-def side_poller(nic):
+def side_poller(nic, buf):
     rec = nic.cq.poll()
     batch = nic.cq.poll_batch(limit=4)
-    return rec, batch
+    n = nic.cq.poll_batch_into(buf, 4)
+    return rec, batch, n
 
 
 def blocking_drain(env, node):

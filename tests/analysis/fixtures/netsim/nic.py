@@ -1,0 +1,38 @@
+"""Fixture: un-slotted classes in a hot-path module (UNR009 x1).
+
+The path suffix ``netsim/nic.py`` puts this file in the UNR009 scope.
+Only ``HotRecord`` should be flagged: slotted classes, slotted
+dataclasses, exception classes and suppressed lines all stay clean.
+"""
+
+from dataclasses import dataclass
+
+
+class HotRecord:
+    def __init__(self, kind):
+        self.kind = kind
+
+
+class SlottedRecord:
+    __slots__ = ("kind", "nbytes")
+
+    def __init__(self, kind, nbytes):
+        self.kind = kind
+        self.nbytes = nbytes
+
+
+@dataclass(slots=True)
+class SlottedDataclass:
+    kind: str = "put"
+
+
+class QueueOverflowError(RuntimeError):
+    pass
+
+
+class DropWarning(UserWarning):
+    pass
+
+
+class WrappableHandle:  # unrlint: disable=UNR009
+    """Needs a __dict__ so wrappers can assign bound methods."""

@@ -1,0 +1,16 @@
+"""Fixture: a hot-path module where every class is slotted (UNR009 clean)."""
+
+from dataclasses import dataclass
+
+
+class CoreSet:
+    __slots__ = ("n_cores", "reserved")
+
+    def __init__(self, n_cores):
+        self.n_cores = n_cores
+        self.reserved = 0
+
+
+@dataclass(slots=True)
+class HostState:
+    busy: float = 0.0

@@ -1,0 +1,10 @@
+"""Fixture: un-slotted classes outside the hot-path scope are fine."""
+
+
+class ColdConfig:
+    def __init__(self):
+        self.verbose = False
+
+
+class AnotherPlainClass:
+    pass

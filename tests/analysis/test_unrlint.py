@@ -62,10 +62,11 @@ def test_unr006_flags_wallclock_in_obs_scope():
 def test_unr007_flags_cq_drain_outside_engine():
     findings = lint_fixture("bad_unr007.py")
     assert rules_of(findings) == ["UNR007"]
-    # poll, poll_batch, blocking get — but never cq.push (the producer).
-    assert len(findings) == 3
+    # poll, poll_batch, poll_batch_into, blocking get — but never
+    # cq.push (the producer).
+    assert len(findings) == 4
     assert {f.message.split("(")[0] for f in findings} == {
-        "cq.poll", "cq.poll_batch", "cq.get",
+        "cq.poll", "cq.poll_batch", "cq.poll_batch_into", "cq.get",
     }
 
 
@@ -75,6 +76,15 @@ def test_unr008_flags_retry_loops_outside_reliability_layer():
     # env.timeout, ctx.env.timeout, bare timeout — one per while-loop.
     assert len(findings) == 3
     assert all("retry/backoff" in f.message for f in findings)
+
+
+def test_unr009_flags_unslotted_hot_path_class_only():
+    findings = lint_fixture("netsim/nic.py")
+    assert rules_of(findings) == ["UNR009"]
+    # HotRecord only: slotted classes/dataclasses, exception and
+    # warning classes, and the suppressed class all stay clean.
+    assert len(findings) == 1
+    assert "HotRecord" in findings[0].message
 
 
 # -- per-rule: must NOT trigger ----------------------------------------------
@@ -92,6 +102,8 @@ def test_unr008_flags_retry_loops_outside_reliability_layer():
         "core/engine.py",  # CQ draining allowed in the progress engine
         "ok_unr008.py",
         "core/health.py",  # retry loops allowed in the reliability layer
+        "netsim/node.py",  # slotted hot-path module
+        "ok_unr009.py",  # un-slotted classes outside the UNR009 scope
     ],
 )
 def test_clean_fixture(fixture):

@@ -1,6 +1,7 @@
 """Engine micro-benchmark: schema, determinism and the datapath-cost gate."""
 
 import json
+import os
 
 import pytest
 
@@ -12,9 +13,19 @@ from repro.bench import (
     write_engine_bench,
 )
 
-#: Pre-refactor datapath cost of the ping-pong workload: 280 simulator
-#: events for 12 puts.  The unified engine must not exceed it.
-BASELINE_EVENTS_PER_PUT = 280 / 12
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+#: Post-coalescing datapath cost ceiling: the raw-fast datapath (fragment
+#: coalescing + slab records + batched CQ dispatch) measures 10.50
+#: simulator events per PUT (see fixtures/BENCH_engine.after.json);
+#: 12 leaves slack for one extra bookkeeping event.  The pre-refactor
+#: cost was 280/12 = 23.33 (fixtures/BENCH_engine.before.json).
+BASELINE_EVENTS_PER_PUT = 12.0
+
+#: Throughput floor on the PUT path.  ops/simulated-second is set by the
+#: modelled platform physics (th-xy link latency + serialization), not
+#: host speed, so a drop means the datapath added *simulated* time.
+MIN_OPS_PER_SIM_SEC = 270_000
 
 
 @pytest.fixture(scope="module")
@@ -38,8 +49,40 @@ def test_both_datapaths_measured(record):
 
 def test_events_per_put_no_worse_than_baseline(record):
     """The regression gate: the unified post_op pipeline must not cost
-    more simulator events per PUT than the pre-engine datapath did."""
+    more simulator events per PUT than the coalesced datapath ceiling."""
     assert record["sim_events_per_put"] <= BASELINE_EVENTS_PER_PUT + 1e-9
+
+
+def test_put_throughput_floor(record):
+    assert record["paths"]["put"]["ops_per_sim_sec"] >= MIN_OPS_PER_SIM_SEC
+
+
+def test_committed_snapshots_pin_the_coalescing_win():
+    """The committed before/after records are the PR's perf evidence:
+    the coalesced datapath roughly halves events/op on both paths while
+    staying bit-identical on the wire."""
+    with open(os.path.join(FIXTURES, "BENCH_engine.before.json")) as fh:
+        before = json.load(fh)
+    with open(os.path.join(FIXTURES, "BENCH_engine.after.json")) as fh:
+        after = json.load(fh)
+    for rec in (before, after):
+        assert validate_engine_bench(rec) == []
+    for path in ("put", "get"):
+        b, a = before["paths"][path], after["paths"][path]
+        assert a["sim_events_per_op"] <= b["sim_events_per_op"] / 1.8
+        # Wire-equivalence: the optimization must not change behaviour.
+        assert a["fingerprint"] == b["fingerprint"]
+        assert a["ops"] == b["ops"]
+        assert a["sim_time_us"] == b["sim_time_us"]
+
+
+def test_after_snapshot_matches_current_datapath(record):
+    """Regenerate with `python -m repro engine-bench --out
+    tests/bench/fixtures/BENCH_engine.after.json` after an intentional
+    datapath change."""
+    with open(os.path.join(FIXTURES, "BENCH_engine.after.json")) as fh:
+        after = json.load(fh)
+    assert after["paths"] == record["paths"]
 
 
 def test_bench_is_deterministic(record):
@@ -82,3 +125,14 @@ def test_cli_engine_bench_gate_fails_when_exceeded(tmp_path):
     out = str(tmp_path / "BENCH_engine.json")
     assert main(["engine-bench", "--iters", "3", "--out", out,
                  "--max-events-per-put", "1"]) == 1
+
+
+def test_cli_engine_bench_throughput_floor_gate(tmp_path):
+    from repro.cli import main
+
+    out = str(tmp_path / "BENCH_engine.json")
+    assert main(["engine-bench", "--iters", "3", "--out", out,
+                 "--min-ops-per-sim-sec", "1e12"]) == 1
+    assert main(["engine-bench", "--iters", "3", "--out", out,
+                 "--min-ops-per-sim-sec", "1",
+                 "--max-events-per-put", str(BASELINE_EVENTS_PER_PUT)]) == 0

@@ -1,0 +1,197 @@
+"""Property tests for the coalesced-fragment datapath (Hypothesis).
+
+Arbitrary sizes, MTUs, rail counts and fragment budgets must uphold the
+coalescing invariants the golden-fingerprint corpus pins only pointwise:
+
+* ``plan_stripes`` tiles the byte range exactly (no gap, no overlap,
+  no spill), respects the fragment budget, and keeps per-rail fragments
+  in offset order;
+* ``coalesce_runs`` is a partition of the plan into maximal contiguous
+  same-rail runs — order preserved exactly;
+* block-minted idempotence tokens (``Unr._next_token_block``) are
+  value-identical to the sequential ``Unr._next_token`` reference for
+  every possible run partition (the multiset — indeed the sequence — of
+  (remote, local) tokens is unchanged by coalescing).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import Unr
+from repro.core.engine import coalesce_runs
+from repro.core.transport import plan_stripes
+
+sizes = st.integers(min_value=0, max_value=1 << 18)
+rails = st.integers(min_value=1, max_value=8)
+thresholds = st.sampled_from([1024, 8192, 65536])
+budgets = st.integers(min_value=0, max_value=64)
+min_frags = st.sampled_from([512, 4096, 8192])
+mtus = st.one_of(st.just(0), st.integers(min_value=1024, max_value=1 << 17))
+
+
+def make_plan(size, n_rails, threshold, max_fragments, min_fragment, mtu):
+    return plan_stripes(
+        size,
+        n_rails,
+        threshold=threshold,
+        multi_channel=True,
+        max_fragments=max_fragments,
+        min_fragment=min_fragment,
+        mtu=mtu,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(sizes, rails, thresholds, budgets, min_frags, mtus)
+def test_plan_tiles_bytes_exactly(size, n_rails, threshold, budget, minf, mtu):
+    stripes = make_plan(size, n_rails, threshold, budget, minf, mtu)
+    assert len(stripes) >= 1
+    offset = 0
+    for i, sp in enumerate(stripes):
+        assert sp.index == i
+        assert sp.offset == offset
+        assert sp.size >= 0
+        assert 0 <= sp.rail < n_rails
+        offset += sp.size
+    assert offset == size
+
+
+@settings(max_examples=200, deadline=None)
+@given(sizes, rails, thresholds, budgets, min_frags, mtus)
+def test_plan_respects_fragment_budget(size, n_rails, threshold, budget, minf, mtu):
+    stripes = make_plan(size, n_rails, threshold, budget, minf, mtu)
+    if budget:
+        assert len(stripes) <= max(budget, 1)
+
+
+@settings(max_examples=200, deadline=None)
+@given(sizes, rails, thresholds, min_frags,
+       st.integers(min_value=1024, max_value=1 << 17))
+def test_mtu_bounds_fragment_sizes_when_budget_is_loose(
+    size, n_rails, threshold, minf, mtu
+):
+    # With no explicit budget the internal cap (2**16) is never binding
+    # for these sizes, so every fragment must fit the MTU.
+    stripes = make_plan(size, n_rails, threshold, 0, minf, mtu)
+    assert all(sp.size <= mtu for sp in stripes if sp.size)
+
+
+@settings(max_examples=200, deadline=None)
+@given(sizes, rails, thresholds, budgets, min_frags, mtus)
+def test_per_rail_fragments_stay_offset_ordered(
+    size, n_rails, threshold, budget, minf, mtu
+):
+    stripes = make_plan(size, n_rails, threshold, budget, minf, mtu)
+    per_rail = {}
+    for sp in stripes:
+        per_rail.setdefault(sp.rail, []).append(sp.offset)
+    for offsets in per_rail.values():
+        assert offsets == sorted(offsets)
+
+
+@settings(max_examples=200, deadline=None)
+@given(sizes, rails, thresholds, budgets, min_frags, mtus)
+def test_coalesce_runs_partition_preserves_order(
+    size, n_rails, threshold, budget, minf, mtu
+):
+    stripes = tuple(make_plan(size, n_rails, threshold, budget, minf, mtu))
+    runs = coalesce_runs(stripes)
+    # Partition: concatenating the runs reproduces the plan exactly.
+    flat = [sp for run in runs for sp in run]
+    assert flat == list(stripes)
+    for run in runs:
+        assert run, "empty run"
+        for prev, nxt in zip(run, run[1:]):
+            assert nxt.rail == prev.rail
+            assert nxt.offset == prev.offset + prev.size
+    # Maximality: adjacent runs must not be mergeable.
+    for a, b in zip(runs, runs[1:]):
+        assert not (
+            b[0].rail == a[-1].rail
+            and b[0].offset == a[-1].offset + a[-1].size
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(sizes, rails, thresholds, budgets, min_frags,
+       st.integers(min_value=1024, max_value=1 << 17))
+def test_mtu_splitting_produces_coalescible_runs(
+    size, n_rails, threshold, budget, minf, mtu
+):
+    # The MTU split is the in-tree producer of same-rail runs: each base
+    # rail stripe becomes exactly one coalescible run.
+    base = tuple(make_plan(size, n_rails, threshold, budget, minf, 0))
+    split = tuple(make_plan(size, n_rails, threshold, budget, minf, mtu))
+    runs = coalesce_runs(split)
+    base_runs = coalesce_runs(base)
+    # Splitting never changes the run structure, only the fragment count.
+    assert [(r[0].rail, r[0].offset, sum(sp.size for sp in r)) for r in runs] == [
+        (r[0].rail, r[0].offset, sum(sp.size for sp in r)) for r in base_runs
+    ]
+    assert len(split) >= len(base)
+
+
+class _Mint:
+    """Token-counter stub exercising the *real* Unr minting methods."""
+
+    _next_token = Unr._next_token
+    _next_token_block = Unr._next_token_block
+
+    def __init__(self):
+        self._op_seq = 0
+
+
+def _engine_tokens(partition, need_r, need_l):
+    """Mirror of ``TransferEngine._post_put``'s block-minted assignment."""
+    mint = _Mint()
+    per = int(need_r) + int(need_l)
+    out = []
+    for run_len in partition:
+        base = mint._next_token_block(per * run_len) if per else 0
+        for j in range(run_len):
+            rtok = ltok = None
+            if per:
+                t = base + per * j
+                if need_r:
+                    rtok = t
+                if need_l:
+                    ltok = t + 1 if need_r else t
+            out.append((rtok, ltok))
+    return out
+
+
+def _sequential_tokens(n, need_r, need_l):
+    """The uncoalesced reference: one ``_next_token`` call per side."""
+    mint = _Mint()
+    out = []
+    for _ in range(n):
+        rtok = mint._next_token() if need_r else None
+        ltok = mint._next_token() if need_l else None
+        out.append((rtok, ltok))
+    return out
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=16), min_size=0, max_size=16),
+    st.booleans(),
+    st.booleans(),
+)
+def test_block_minted_tokens_match_sequential_reference(
+    partition, need_r, need_l
+):
+    n = sum(partition)
+    assert _engine_tokens(partition, need_r, need_l) == _sequential_tokens(
+        n, need_r, need_l
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=64))
+def test_next_token_block_matches_sequential_unr_counter(count):
+    a, b = _Mint(), _Mint()
+    first = a._next_token_block(count)
+    seq = [b._next_token() for _ in range(count)]
+    assert a._op_seq == b._op_seq
+    if count:
+        assert list(range(first, first + count)) == seq

@@ -1,0 +1,173 @@
+"""Differential mode: coalesced/zero-copy datapath vs uncoalesced reference.
+
+The raw-fast datapath optimizations must be invisible on the wire and in
+the notification stream.  These tests run the same credit-flowed striped
+PUT stream twice — once with fragment coalescing + zero-copy enabled and
+``stripe_mtu`` fragmentation producing genuine same-rail runs, once with
+both toggled off — and require:
+
+* bit-identical :func:`transfer_fingerprint` (same fragments, same
+  rails, same post/deliver times, same order);
+* an identical notification-token stream (every ``_apply_add`` with the
+  same (node, sid, addend, token), in the same order);
+* byte-exact delivery and a clean sanitizer finalize on both sides.
+
+On a fingerprint mismatch the two Perfetto traces are written to the
+artifacts directory (``UNR_DIFF_ARTIFACTS``, default ``diff-artifacts``)
+so CI can upload the diverging timelines.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import Unr
+from repro.netsim import FaultInjector, FaultSpec
+from repro.netsim.trace import transfer_fingerprint
+from repro.obs import Recorder
+from repro.obs.export import write_perfetto
+from repro.platforms import make_job
+from repro.runtime import run_job
+
+#: the PR 1 fault-stress schedule (th-xy has two rails, so the rail
+#: failure exercises failover rather than killing the only lane)
+FAULTS = "drop=0.2,dup=0.1,reorder=0.3,rail_fail@t=40:node=1:rail=0"
+
+SIZE = 65536       # == stripe threshold: striped over th-xy's two rails
+MTU = 8192         # fragments each 32 KiB rail stripe into a run of 4
+ITERS = 3
+
+ARTIFACTS_DIR = os.environ.get("UNR_DIFF_ARTIFACTS", "diff-artifacts")
+
+
+def _pattern(it):
+    return ((np.arange(SIZE) * 13 + it) % 251).astype(np.uint8)
+
+
+def run_stream(*, coalesce, zero_copy, faults=None):
+    """One credit-flowed PUT stream; returns its observable behaviour."""
+    job = make_job("th-xy", 2, seed=0xC0FFEE)
+    if faults is not None:
+        FaultInjector.attach(job.cluster, FaultSpec.parse(faults, seed=5))
+    recorder = Recorder.attach(job.cluster)
+    unr = Unr(
+        job, "glex",
+        coalesce=coalesce, zero_copy=zero_copy, stripe_mtu=MTU,
+        reliability=faults is not None,
+        sanitize=True,
+    )
+    tokens = []
+    orig_apply = unr._apply_add
+
+    def spy(node, sid, addend, token=None):
+        tokens.append((node, sid, addend, token))
+        orig_apply(node, sid, addend, token=token)
+
+    unr._apply_add = spy
+    correct = {}
+
+    def program(ctx):
+        ep = unr.endpoint(ctx.rank)
+        buf = np.zeros(SIZE, dtype=np.uint8)
+        mr = ep.mem_reg(buf)
+        sig = ep.sig_init(1)
+        blk = ep.blk_init(mr, 0, SIZE, signal=sig)
+        if ctx.rank == 0:
+            rmt = yield from ep.recv_ctl(1, tag="addr")
+            for it in range(ITERS):
+                buf[:] = _pattern(it)
+                ep.put(blk, rmt)
+                # Local-completion signal *then* the consumer's credit:
+                # the source buffer is never mutated while a zero-copy
+                # payload view is still in flight.
+                yield from ep.sig_wait(sig)
+                ep.sig_reset(sig)
+                yield from ep.recv_ctl(1, tag="credit")
+        else:
+            yield from ep.send_ctl(0, blk, tag="addr")
+            for it in range(ITERS):
+                yield from ep.sig_wait(sig)
+                correct[it] = np.array_equal(buf, _pattern(it))
+                ep.sig_reset(sig)
+                yield from ep.send_ctl(0, "go", tag="credit")
+
+    run_job(job, program)
+    report = unr.finalize()
+    return {
+        "fingerprint": transfer_fingerprint(recorder.transfers),
+        "recorder": recorder,
+        "tokens": tokens,
+        "correct": correct,
+        "stats": dict(unr.stats),
+        "sanitizer_ok": report is not None and report.ok,
+    }
+
+
+def _assert_differential(fast, ref, label):
+    if fast["fingerprint"] != ref["fingerprint"]:
+        os.makedirs(ARTIFACTS_DIR, exist_ok=True)
+        fast_path = os.path.join(
+            ARTIFACTS_DIR, f"{label}-coalesced.perfetto.json"
+        )
+        ref_path = os.path.join(
+            ARTIFACTS_DIR, f"{label}-reference.perfetto.json"
+        )
+        write_perfetto(fast["recorder"], fast_path)
+        write_perfetto(ref["recorder"], ref_path)
+        pytest.fail(
+            f"{label}: coalesced datapath diverged from the uncoalesced "
+            f"reference on the wire — Perfetto traces written to "
+            f"{fast_path} and {ref_path}"
+        )
+    assert fast["tokens"] == ref["tokens"], (
+        f"{label}: notification-token stream diverged"
+    )
+    for run in (fast, ref):
+        assert all(run["correct"].values()) and len(run["correct"]) == ITERS
+        assert run["sanitizer_ok"], f"{label}: sanitizer finalize not clean"
+
+
+def test_differential_healthy_stream():
+    fast = run_stream(coalesce=True, zero_copy=True)
+    ref = run_stream(coalesce=False, zero_copy=False)
+    _assert_differential(fast, ref, "healthy")
+    # The fast run must have genuinely coalesced multi-fragment runs.
+    assert fast["stats"]["coalesced_runs"] > 0
+    assert fast["stats"]["fragments"] > 2 * ITERS  # MTU split engaged
+    assert fast["stats"]["coalesced_runs"] < fast["stats"]["fragments"]
+    assert "coalesced_runs" not in ref["stats"]
+
+
+def test_differential_under_fault_stress():
+    fast = run_stream(coalesce=True, zero_copy=True, faults=FAULTS)
+    ref = run_stream(coalesce=False, zero_copy=False, faults=FAULTS)
+    _assert_differential(fast, ref, "fault-stress")
+    assert fast["stats"]["coalesced_runs"] > 0
+
+
+def test_differential_each_toggle_alone():
+    ref = run_stream(coalesce=False, zero_copy=False)
+    only_coalesce = run_stream(coalesce=True, zero_copy=False)
+    only_zero_copy = run_stream(coalesce=False, zero_copy=True)
+    assert only_coalesce["fingerprint"] == ref["fingerprint"]
+    assert only_zero_copy["fingerprint"] == ref["fingerprint"]
+    assert only_coalesce["tokens"] == ref["tokens"]
+    assert only_zero_copy["tokens"] == ref["tokens"]
+
+
+def test_mismatch_writes_perfetto_artifacts(tmp_path, monkeypatch):
+    """The failure path itself: a forced divergence must leave traces."""
+    import tests.core.test_differential as mod
+
+    monkeypatch.setattr(mod, "ARTIFACTS_DIR", str(tmp_path / "artifacts"))
+    fast = run_stream(coalesce=True, zero_copy=True)
+    ref = run_stream(coalesce=False, zero_copy=False)
+    ref = dict(ref, fingerprint="0" * 64)
+    with pytest.raises(pytest.fail.Exception):
+        _assert_differential(fast, ref, "forced")
+    files = sorted(p.name for p in (tmp_path / "artifacts").iterdir())
+    assert files == [
+        "forced-coalesced.perfetto.json",
+        "forced-reference.perfetto.json",
+    ]

@@ -1,0 +1,85 @@
+"""The golden-fingerprint lock: current wire behaviour == committed corpus.
+
+Every datapath optimization must be wire-equivalent; this test recomputes
+the whole corpus (four schedules x four Table III platforms, healthy and
+fault-stressed) and diffs it against the committed golden file.  An
+*intentional* wire-behaviour change regenerates the file with::
+
+    python -m repro fingerprints --write
+"""
+
+import os
+
+import pytest
+
+from repro.bench.fingerprints import (
+    GOLDEN_SCHEMA,
+    PLATFORMS,
+    SCHEDULES,
+    collect_fingerprints,
+    compare_corpus,
+    fault_schedule,
+    load_corpus,
+    run_schedule,
+)
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "fixtures",
+                      "golden_fingerprints.json")
+
+
+def test_corpus_covers_all_platforms_and_schedules():
+    entries = load_corpus(GOLDEN)
+    assert set(entries) == {
+        f"{p}/{s}" for p in PLATFORMS for s in SCHEDULES
+    }
+    assert all(len(fp) == 64 for fp in entries.values())
+
+
+def test_current_run_matches_golden_corpus():
+    problems = compare_corpus(GOLDEN)
+    assert problems == [], (
+        "wire fingerprints drifted from the golden corpus:\n  "
+        + "\n  ".join(problems)
+        + "\nif the change is intentional, regenerate with "
+        "`python -m repro fingerprints --write`"
+    )
+
+
+def test_compare_corpus_reports_drift_and_coverage_gaps():
+    golden = load_corpus(GOLDEN)
+    current = dict(golden)
+    key = sorted(current)[0]
+    current[key] = "0" * 64
+    current.pop(sorted(current)[1])
+    current["made-up/schedule"] = "1" * 64
+    problems = compare_corpus(GOLDEN, entries=current)
+    assert any("drifted" in p for p in problems)
+    assert any("missing" in p for p in problems)
+    assert any("not in golden corpus" in p for p in problems)
+
+
+def test_schedules_are_deterministic():
+    assert run_schedule("th-xy", "stream") == run_schedule("th-xy", "stream")
+
+
+def test_fault_schedule_spares_single_rail_platforms():
+    assert "rail_fail" in fault_schedule(2)
+    assert "rail_fail" not in fault_schedule(1)
+
+
+def test_unknown_schedule_rejected():
+    with pytest.raises(ValueError):
+        run_schedule("th-xy", "nope")
+
+
+def test_collect_subset():
+    fps = collect_fingerprints(platforms=("th-xy",), schedules=("latency",))
+    assert list(fps) == ["th-xy/latency"]
+    assert fps["th-xy/latency"] == load_corpus(GOLDEN)["th-xy/latency"]
+
+
+def test_corpus_schema_pinned():
+    import json
+
+    with open(GOLDEN, encoding="utf-8") as fh:
+        assert json.load(fh)["schema"] == GOLDEN_SCHEMA
