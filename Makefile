@@ -11,14 +11,17 @@
 #   make test-diff   - differential suite: coalesced datapath vs
 #                      uncoalesced reference + golden fingerprints
 #   make lint        - unrlint determinism rules (+ ruff when installed)
+#   make verify      - unrverify: happens-before trace verifier over the
+#                      golden + mutation corpora + static protocol pass
 #   make typecheck   - mypy strict-lite gate (skipped when not installed)
-#   make check       - lint + typecheck + the UnrSanitizer acceptance run
+#   make check       - lint + typecheck + unrverify + the UnrSanitizer
+#                      acceptance run (selfcheck demo + violation battery)
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 REPRO   = PYTHONPATH=src $(PYTHON) -m repro
 
-.PHONY: test test-fast test-all test-slow test-chaos test-diff demo-faults trace bench-engine lint typecheck check
+.PHONY: test test-fast test-all test-slow test-chaos test-diff demo-faults trace bench-engine lint verify typecheck check
 
 test: test-fast
 
@@ -68,6 +71,9 @@ lint:
 		echo "ruff not installed; skipping (CI runs it)"; \
 	fi
 
+verify:
+	$(REPRO) verify
+
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
 		mypy; \
@@ -75,5 +81,5 @@ typecheck:
 		echo "mypy not installed; skipping (CI runs it)"; \
 	fi
 
-check: lint typecheck
+check: lint typecheck verify
 	$(REPRO) check

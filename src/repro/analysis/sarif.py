@@ -1,0 +1,137 @@
+"""Structured output for unrlint/unrverify findings: JSON and SARIF.
+
+``repro lint --format json|sarif`` and ``repro verify --format …``
+serialize the same :class:`~repro.analysis.unrlint.Finding` stream the
+text formatter prints.  SARIF 2.1.0 is the interchange format GitHub
+code scanning ingests, so CI uploads these files and findings annotate
+PR diffs in place.
+
+Trace findings carry pseudo-paths (``trace://platform/schedule``);
+SARIF requires a URI, so they are emitted as artifact locations with
+the ``trace`` scheme and the recorder sequence number as the "line".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Sequence
+
+from .unrlint import PARSE_ERROR, RULES, Finding, Rule
+
+__all__ = ["findings_to_json", "findings_to_sarif", "serialize_findings"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _all_rules() -> Dict[str, Rule]:
+    from .verify import VERIFY_RULES
+
+    out: Dict[str, Rule] = dict(RULES)
+    out.update(VERIFY_RULES)
+    out[PARSE_ERROR.id] = PARSE_ERROR
+    return out
+
+
+def findings_to_json(findings: Sequence[Finding]) -> str:
+    """Deterministic JSON: a list of finding objects plus a tally."""
+    counts: Dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    doc = {
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "hint": f.hint,
+            }
+            for f in findings
+        ],
+        "summary": {"total": len(findings), "by_rule": dict(sorted(counts.items()))},
+    }
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def findings_to_sarif(
+    findings: Sequence[Finding],
+    tool_name: str = "unrlint",
+    rules: Optional[Dict[str, Rule]] = None,
+) -> str:
+    """SARIF 2.1.0 for GitHub code scanning (one run, one tool)."""
+    catalog = rules if rules is not None else _all_rules()
+    used = sorted({f.rule for f in findings})
+    rule_index = {rid: i for i, rid in enumerate(used)}
+
+    def _descriptor(rid: str) -> Dict[str, Any]:
+        rule = catalog.get(rid)
+        summary = rule.summary if rule else rid
+        hint = rule.hint if rule else ""
+        return {
+            "id": rid,
+            "shortDescription": {"text": summary},
+            "help": {"text": hint},
+            "defaultConfiguration": {"level": "error"},
+        }
+
+    def _location(f: Finding) -> Dict[str, Any]:
+        uri = f.path
+        if not uri.startswith("trace://"):
+            uri = uri.replace("\\", "/")
+        return {
+            "physicalLocation": {
+                "artifactLocation": {"uri": uri},
+                "region": {
+                    "startLine": max(f.line, 1),
+                    "startColumn": max(f.col, 0) + 1,
+                },
+            }
+        }
+
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": "https://github.com/",
+                        "rules": [_descriptor(rid) for rid in used],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": f.rule,
+                        "ruleIndex": rule_index[f.rule],
+                        "level": "error",
+                        "message": {"text": f"{f.message} (hint: {f.hint})"},
+                        "locations": [_location(f)],
+                    }
+                    for f in findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def serialize_findings(
+    findings: Sequence[Finding],
+    fmt: str,
+    tool_name: str = "unrlint",
+) -> str:
+    """Dispatch on ``--format``: ``text`` | ``json`` | ``sarif``."""
+    if fmt == "json":
+        return findings_to_json(findings)
+    if fmt == "sarif":
+        return findings_to_sarif(findings, tool_name=tool_name)
+    from .unrlint import format_findings
+
+    text = format_findings(findings)
+    return text + "\n" if text else ""

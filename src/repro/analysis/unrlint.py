@@ -38,7 +38,21 @@ UNR009  un-slotted classes in the simulator hot-path modules
         ``__slots__`` (or ``@dataclass(slots=True)``); a ``__dict__``
         per instance bloats the event heap and defeats the slab
         allocator.  Exception classes are exempt (cold path).
+UNR010  an RMA post (``ep.put``/``ep.get``) with no wait-like call
+        (``sig_wait``/``sig_test``/``recv_ctl``/…) reachable from the
+        posting function or any of its callers — the notification can
+        never be consumed (workload scopes; see
+        :mod:`repro.analysis.verify`)
+UNR011  unguarded buffer/plan reuse: a replay loop with no reachable
+        wait or ``sig_reset``, or posting after ``sig_free`` /
+        ``finalize`` / ``drain`` (workload scopes)
 ======= ==============================================================
+
+UNR005 covers ``except Exception``, bare ``except`` *and*
+``except BaseException`` — all three can swallow ``UnrTimeoutError``.
+UNR010/UNR011 are the static half of unrverify; they run only on files
+under the workload scopes (``examples/``, ``powerllel/``,
+``collectives/``) unless :attr:`LintConfig.force_protocol` is set.
 
 Suppression: append ``# unrlint: disable=UNR003`` (comma-separated ids,
 or no ids to silence every rule) to the first line of the flagged
@@ -138,6 +152,20 @@ RULES: Dict[str, Rule] = {
             "instance __dict__ bloats the heap and defeats the slab "
             "allocator's free-list reuse",
         ),
+        Rule(
+            "UNR010",
+            "RMA post with no reachable matching wait",
+            "pair every ep.put/ep.get with a reachable sig_wait/sig_test/"
+            "recv_ctl (in the poster or a caller) so the notification it "
+            "raises is consumed",
+        ),
+        Rule(
+            "UNR011",
+            "unguarded buffer or plan reuse",
+            "wait (sig_wait) or re-arm (sig_reset/sig_init) between reuses "
+            "of a buffer or replayed plan, and never post after "
+            "sig_free/finalize/drain tore the guard down",
+        ),
     )
 }
 
@@ -195,6 +223,12 @@ class LintConfig:
         "netsim/nic.py",
         "netsim/node.py",
     )
+    #: path components under which the UNR010/UNR011 protocol pass runs
+    #: (workload code posting real RMA ops).
+    protocol_scopes: Tuple[str, ...] = ("examples", "powerllel", "collectives")
+    #: run the protocol pass on every file regardless of scope
+    #: (used by the mutation corpus and targeted tests).
+    force_protocol: bool = False
 
     def enabled(self, rule_id: str) -> bool:
         return self.select is None or rule_id in self.select
@@ -571,14 +605,17 @@ class _Visitor(ast.NodeVisitor):
         if node.type is None:
             broad = True
             what = "bare except"
-        elif isinstance(node.type, ast.Name) and node.type.id == "Exception":
-            broad = True
-            what = "except Exception"
-        elif isinstance(node.type, ast.Tuple) and any(
-            isinstance(e, ast.Name) and e.id == "Exception" for e in node.type.elts
+        elif isinstance(node.type, ast.Name) and node.type.id in (
+            "Exception", "BaseException",
         ):
             broad = True
-            what = "except (..., Exception, ...)"
+            what = f"except {node.type.id}"
+        elif isinstance(node.type, ast.Tuple) and any(
+            isinstance(e, ast.Name) and e.id in ("Exception", "BaseException")
+            for e in node.type.elts
+        ):
+            broad = True
+            what = "except (..., Exception/BaseException, ...)"
         if broad and not self._reraises(node):
             self._flag(
                 "UNR005", node,
@@ -630,6 +667,11 @@ def _slots_scope(path: str, config: LintConfig) -> bool:
     return any(norm.endswith(suffix) for suffix in config.slots_scope_suffixes)
 
 
+def _in_protocol_scope(path: str, config: LintConfig) -> bool:
+    parts = Path(_norm(path)).parts
+    return any(part in config.protocol_scopes for part in parts)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -661,9 +703,23 @@ def lint_source(
         slots_scope=_slots_scope(path, config),
     )
     visitor.visit(tree)
+    all_findings = list(visitor.findings)
+    if (config.force_protocol or _in_protocol_scope(path, config)) and (
+        config.enabled("UNR010") or config.enabled("UNR011")
+    ):
+        # Deferred import: verify.py imports Finding/Rule from here.
+        from .verify import protocol_pass
+
+        all_findings.extend(
+            protocol_pass(
+                tree, path, RULES,
+                check_unr010=config.enabled("UNR010"),
+                check_unr011=config.enabled("UNR011"),
+            )
+        )
     per_line, per_file = _parse_suppressions(source)
     kept: List[Finding] = []
-    for finding in visitor.findings:
+    for finding in all_findings:
         if finding.rule in per_file:
             continue
         if finding.line in per_line:

@@ -176,8 +176,17 @@ def _powerllel_program(unr: Any, n_ranks: int) -> Any:
     return program
 
 
-def run_schedule(platform: str, schedule: str, *, seed: int = 0xC0FFEE) -> str:
-    """Run one corpus schedule on ``platform``; returns its fingerprint."""
+def _setup_schedule(
+    platform: str, schedule: str, seed: int, *, observe_core: bool
+) -> Tuple[Any, Recorder, Any]:
+    """Shared corpus-run setup; returns ``(job, recorder, program)``.
+
+    ``observe_core`` arms op/protocol emission in the UNR core
+    (``Unr(..., observe=recorder)``) on top of the always-attached wire
+    recorder — the unrverify entry point.  Arming is passive: the
+    fingerprint
+    must be identical either way (checked by ``repro verify``).
+    """
     plat = get_platform(platform)
     if schedule == "powerllel":
         job = make_job(platform, 2, ranks_per_node=2, seed=seed)
@@ -188,7 +197,11 @@ def run_schedule(platform: str, schedule: str, *, seed: int = 0xC0FFEE) -> str:
         faults = fault_schedule(job.cluster.spec.node.nics)
         FaultInjector.attach(job.cluster, FaultSpec.parse(faults, seed=FAULT_SEED))
     recorder = Recorder.attach(job.cluster)
-    unr = Unr(job, plat.channel, reliability=faults is not None)
+    unr = Unr(
+        job, plat.channel,
+        reliability=faults is not None,
+        observe=recorder if observe_core else None,
+    )
     if schedule == "latency":
         program = _pingpong_program(unr)
     elif schedule in ("stream", "fault_stress"):
@@ -197,8 +210,29 @@ def run_schedule(platform: str, schedule: str, *, seed: int = 0xC0FFEE) -> str:
         program = _powerllel_program(unr, job.n_ranks)
     else:
         raise ValueError(f"unknown corpus schedule {schedule!r}")
+    return job, recorder, program
+
+
+def run_schedule(platform: str, schedule: str, *, seed: int = 0xC0FFEE) -> str:
+    """Run one corpus schedule on ``platform``; returns its fingerprint."""
+    job, recorder, program = _setup_schedule(platform, schedule, seed, observe_core=False)
     run_job(job, program)
     return transfer_fingerprint(recorder.transfers)
+
+
+def run_schedule_observed(
+    platform: str, schedule: str, *, seed: int = 0xC0FFEE
+) -> Tuple[str, Recorder]:
+    """Run one corpus schedule with unrverify op/protocol streams armed.
+
+    Returns ``(fingerprint, recorder)`` — the fingerprint must equal the
+    disarmed :func:`run_schedule` result (and hence the golden corpus);
+    the recorder's ``ops``/``protocol`` streams feed
+    :mod:`repro.analysis.verify`.
+    """
+    job, recorder, program = _setup_schedule(platform, schedule, seed, observe_core=True)
+    run_job(job, program)
+    return transfer_fingerprint(recorder.transfers), recorder
 
 
 def collect_fingerprints(

@@ -16,6 +16,7 @@
     python -m repro fingerprints                # golden wire-fingerprint diff
     python -m repro lint src/repro              # unrlint determinism rules
     python -m repro check                       # UnrSanitizer runtime checks
+    python -m repro verify                      # unrverify HB + protocol pass
 """
 
 from __future__ import annotations
@@ -206,6 +207,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated rule ids to check (default: all)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule table and exit")
+    p.add_argument("--format", default="text", choices=("text", "json", "sarif"),
+                   help="finding output format (default: text)")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="write findings to PATH instead of stdout")
+
+    p = sub.add_parser(
+        "verify",
+        help="unrverify: happens-before trace verifier (VER001-VER004) over "
+             "the golden corpus, the seeded mutation corpus, and the static "
+             "protocol pass (UNR010/UNR011)",
+    )
+    p.add_argument("--corpus", default="all", choices=("golden", "mutants", "all"),
+                   help="which corpus to run (default: all)")
+    p.add_argument("--platform", action="append", default=None, metavar="NAME",
+                   help="restrict the golden corpus to this platform "
+                        "(repeatable; default: all four)")
+    p.add_argument("--no-static", action="store_true",
+                   help="skip the static protocol-conformance sweep")
+    p.add_argument("--format", default="text", choices=("text", "json", "sarif"),
+                   help="finding output format (default: text)")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="write findings to PATH instead of stdout")
 
     p = sub.add_parser(
         "check",
@@ -572,8 +595,21 @@ def cmd_fingerprints(args) -> int:
     return 0
 
 
+def _emit_findings(findings, fmt: str, output: Optional[str], tool: str) -> None:
+    """Serialize a finding stream per --format, to stdout or --output."""
+    from .analysis import serialize_findings
+
+    text = serialize_findings(findings, fmt, tool_name=tool)
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"{tool}: wrote {len(findings)} finding(s) [{fmt}] -> {output}")
+    elif text:
+        sys.stdout.write(text)
+
+
 def cmd_lint(args) -> int:
-    from .analysis import RULES, LintConfig, format_findings, lint_paths
+    from .analysis import RULES, LintConfig, lint_paths
 
     if args.list_rules:
         for rule in RULES.values():
@@ -589,12 +625,75 @@ def cmd_lint(args) -> int:
             return 2
     config = LintConfig(select=select)
     findings = lint_paths(args.paths, config=config)
+    # json/sarif always emit a document (possibly empty) so CI uploads
+    # have a file either way; text keeps the human-readable summary.
+    if args.format != "text" or args.output:
+        _emit_findings(findings, args.format, args.output, "unrlint")
+        return 1 if findings else 0
     if findings:
+        from .analysis import format_findings
+
         print(format_findings(findings))
         return 1
     print(f"unrlint: {', '.join(args.paths)} clean "
           f"({len(RULES) if select is None else len(select)} rules)")
     return 0
+
+
+def cmd_verify(args) -> int:
+    from .analysis import LintConfig, lint_paths, verify_corpus
+    from .analysis.mutants import run_all_mutants
+    from .bench.fingerprints import load_corpus
+
+    all_findings = []
+    ok = True
+
+    if args.corpus in ("golden", "all"):
+        golden = load_corpus()
+        reports = verify_corpus(platforms=args.platform)
+        clean = sum(1 for r in reports if r.ok)
+        print(f"verify: golden corpus  {clean}/{len(reports)} scenarios clean")
+        for report in reports:
+            if report.findings:
+                ok = False
+                all_findings.extend(report.findings)
+                for f in report.findings:
+                    print(f"    {f.format()}")
+            expected = golden.get(report.origin)
+            if expected is not None and report.fingerprint != expected:
+                ok = False
+                print(f"    {report.origin}: armed fingerprint diverged from "
+                      f"golden ({expected[:12]}.. != "
+                      f"{(report.fingerprint or '?')[:12]}..)")
+
+    if args.corpus in ("mutants", "all"):
+        outcomes = run_all_mutants()
+        caught = sum(1 for o in outcomes if o.flagged)
+        print(f"verify: mutant corpus  {caught}/{len(outcomes)} seeded bugs flagged")
+        for o in outcomes:
+            mark = "ok  " if o.flagged else "MISS"
+            got = ",".join(o.got) if o.got else "-"
+            print(f"    {mark} {o.name}  expect {'|'.join(o.expect)}  got {got}")
+            if not o.flagged:
+                ok = False
+
+    if not args.no_static:
+        scopes = ["src/repro/powerllel", "src/repro/collectives", "examples"]
+        config = LintConfig(select=frozenset({"UNR010", "UNR011"}),
+                            force_protocol=True)
+        static = lint_paths(scopes, config=config)
+        print(f"verify: static pass    {len(static)} UNR010/UNR011 finding(s) "
+              f"over {', '.join(scopes)}")
+        if static:
+            ok = False
+            all_findings.extend(static)
+            for f in static:
+                print(f"    {f.format()}")
+
+    if args.format != "text" or args.output:
+        _emit_findings(all_findings, args.format, args.output, "unrverify")
+    print("verify: " + ("OK" if ok else "FAILED"))
+    return 0 if ok else 1
 
 
 def cmd_check(args) -> int:
@@ -645,6 +744,7 @@ _COMMANDS = {
     "fig6": cmd_fig6,
     "scaling": cmd_scaling,
     "lint": cmd_lint,
+    "verify": cmd_verify,
     "check": cmd_check,
 }
 

@@ -325,6 +325,10 @@ class Unr:
             self._sid_next[node] += 1
         sig = Signal(self.env, sid, num_event, n_bits=self.n_bits, owner_rank=rank)
         self._sig_tables[node][sid] = sig
+        if self.obs is not None:
+            self.obs.record_proto(
+                "sig_init", rank=rank, node=node, sid=sid, num_event=num_event,
+            )
         if sid >= self.sid_capacity:
             if self.obs is not None:
                 self.obs.count("core.degraded_sids")
@@ -352,6 +356,11 @@ class Unr:
         sig.armed = False
         self._sid_free[node].append(sig.sid)
         self._freed_sids[node].add(sig.sid)
+        if self.obs is not None:
+            self.obs.record_proto(
+                "sig_free", rank=sig.owner_rank, node=node, sid=sig.sid,
+                num_event=sig.num_event,
+            )
 
     def _signal_at(self, node: int, sid: int) -> Optional[Signal]:
         return self._sig_tables[node].get(sid)
@@ -374,13 +383,25 @@ class Unr:
         sig = self._signal_at(node, sid)
         if sig is None:
             self.stats["stray_completions"] += 1
+            if self.obs is not None:
+                self.obs.record_proto(
+                    "stray_add", rank=-1, node=node, sid=sid,
+                    addend=addend, token=token, applied=False,
+                )
             return
         before = sig.n_duplicates
         sig.add(addend, token=token)
-        if sig.n_duplicates != before:
+        dup = sig.n_duplicates != before
+        if dup:
             self.stats["duplicates_suppressed"] += 1
         else:
             self.stats["adds_applied"] += 1
+        if self.obs is not None:
+            self.obs.record_proto(
+                "add", rank=sig.owner_rank, node=node, sid=sid,
+                addend=addend, token=token, applied=not dup,
+                triggered=sig.is_zero,
+            )
 
     # -- progress-engine handlers (one per record kind) -----------------
     def _handle_rma_record(self, node: int, record: CompletionRecord) -> None:
@@ -566,6 +587,12 @@ class UnrEndpoint:
                 f"{'a message arrived before the buffer was declared ready' if sig.counter < sig.num_event or sig.overflow_bit else 'signal was never fully triggered'}"
             )
         sig._reset_counter()
+        obs = self.unr.obs
+        if obs is not None:
+            obs.record_proto(
+                "reset", rank=self.rank, node=self.node_index, sid=sig.sid,
+                num_event=sig.num_event,
+            )
 
     def sig_wait(self, sig: Signal) -> Generator[Any, Any, Signal]:
         """Generator: wait until ``sig`` triggers (paper: ``UNR_Sig_Wait``).
@@ -581,6 +608,10 @@ class UnrEndpoint:
             with obs.span(f"rank{self.rank}", "unr.sig_wait", cat="core", sid=sig.sid):
                 yield sig.wait_event()
             obs.observe("core.sig_wait_us", (self.env.now - t0) / US)
+            obs.record_proto(
+                "wait", rank=self.rank, node=self.node_index, sid=sig.sid,
+                num_event=sig.num_event, t0=t0,
+            )
         if sig.overflow_bit:
             self.unr._overflow_error(
                 f"sig_wait(sid={sig.sid}): overflow bit set — more than "
@@ -619,6 +650,12 @@ class UnrEndpoint:
         item = yield self.unr._inbox[self.rank].get(
             lambda m: m[0] == src_rank and m[1] == tag
         )
+        obs = self.unr.obs
+        if obs is not None:
+            obs.record_proto(
+                "ctrl_recv", rank=self.rank, node=self.node_index,
+                peer=src_rank, tag=None if tag is None else str(tag),
+            )
         return item[2]
 
     def exchange_blk(

@@ -220,6 +220,11 @@ class TransferEngine:
         #: on delivery, cancelled by :meth:`drain` against dead peers.
         self._inflight: Dict[int, _InflightFragment] = {}
         self._frag_seq = 0
+        #: logical-op counter: every post_op call (including plan
+        #: replays and Level-0 ctrl tails) gets a fresh id, stamped on
+        #: the obs :class:`~repro.obs.recorder.OpRecord` of each of its
+        #: fragments so unrverify can group them.
+        self._op_post_seq = 0
 
     # -- prepare: descriptors --------------------------------------------
     def prepare_put(
@@ -469,17 +474,19 @@ class TransferEngine:
                 remote_sid=op.rsid, local_sid=op.lsid,
             )
         op.n_posts += 1
+        self._op_post_seq += 1
+        opid = self._op_post_seq
         if op.kind == "put":
-            return self._post_put(op)
+            return self._post_put(op, opid)
         if op.kind == "get":
-            return self._post_get(op)
+            return self._post_get(op, opid)
         if op.kind == "ctrl":
             if op.ctrl_sid is not None:
-                return self._post_signal_ctrl(op)
-            return self._post_payload_ctrl(op)
+                return self._post_signal_ctrl(op, opid)
+            return self._post_payload_ctrl(op, opid)
         raise UnrUsageError(f"unknown transfer kind {op.kind!r}")
 
-    def _post_put(self, op: TransferOp) -> None:
+    def _post_put(self, op: TransferOp, opid: int = 0) -> None:
         unr = self.unr
         unr.stats["puts"] += 1
         unr.stats["fragments"] += len(op.stripes)
@@ -505,7 +512,7 @@ class TransferEngine:
                         rtok = t
                     if need_l:
                         ltok = t + 1 if need_r else t
-                self._post_put_fragment(op, sp, rtok, ltok)
+                self._post_put_fragment(op, sp, rtok, ltok, opid)
         if op.ctrl_remote:
             self.post_op(
                 self._signal_ctrl_op(
@@ -520,6 +527,7 @@ class TransferEngine:
         sp: StripePlan,
         rtok: Optional[int],
         ltok: Optional[int],
+        opid: int = 0,
     ) -> None:
         """Post one PUT fragment (payload capture, watchdog, failover)."""
         env = self.env
@@ -539,13 +547,18 @@ class TransferEngine:
             deliver: Optional[Callable[[Any], None]] = self._first_delivery(
                 sp.view, delivered
             )
-        elif sp.view is not None:
-            deliver = self._write_view(sp.view)
+            first = self._route(op, sp.rail, "PUT", sp.size)
         else:
-            deliver = None
+            if sp.view is not None:
+                deliver = self._write_view(sp.view)
+            else:
+                deliver = None
+            first = self._gate_unreliable(op, sp.rail, "PUT", sp.size)
+        oprec = self._record_op(op, sp, opid, first, rtok, ltok)
+        if oprec is not None:
+            deliver = self._stamp_wrap(oprec, deliver)
         post = self._put_poster(op, sp, payload, deliver, rtok, ltok)
         if op.reliable:
-            first = self._route(op, sp.rail, "PUT", sp.size)
             frag_entry = self._track_fragment(op, sp, delivered, rtok, ltok)
             post(first)
             self._watchdog(
@@ -553,7 +566,7 @@ class TransferEngine:
                 first, "PUT", frag=frag_entry,
             )
         else:
-            post(self._gate_unreliable(op, sp.rail, "PUT", sp.size))
+            post(first)
 
     def _put_poster(
         self,
@@ -607,7 +620,7 @@ class TransferEngine:
 
         return post
 
-    def _post_get(self, op: TransferOp) -> None:
+    def _post_get(self, op: TransferOp, opid: int = 0) -> None:
         unr = self.unr
         env = self.env
         ch = unr.channel
@@ -623,10 +636,16 @@ class TransferEngine:
         if op.reliable:
             delivered = env.event()
             deliver = self._first_delivery(sp.view, delivered)
-        elif sp.view is None:
-            deliver = None
+            first = self._route(op, 0, "GET", op.nbytes)
         else:
-            deliver = self._write_view(sp.view)
+            if sp.view is None:
+                deliver = None
+            else:
+                deliver = self._write_view(sp.view)
+            first = self._gate_unreliable(op, 0, "GET", op.nbytes)
+        oprec = self._record_op(op, sp, opid, first, rtok, ltok)
+        if oprec is not None:
+            deliver = self._stamp_wrap(oprec, deliver)
         remote_action = self._add_action(sp.remote_add, rtok)
         local_action = self._add_action(sp.local_action_add, ltok)
 
@@ -675,7 +694,6 @@ class TransferEngine:
                 delivered.callbacks.append(self._add_callback(sp.local_done_add, ltok))
             if op.ctrl_remote:
                 delivered.callbacks.append(self._ctrl_callback(op))
-            first = self._route(op, 0, "GET", op.nbytes)
             frag = self._track_fragment(op, sp, delivered, rtok, ltok)
             post(first)
             self._watchdog(
@@ -683,9 +701,9 @@ class TransferEngine:
                 first, "GET", round_trip=True, frag=frag,
             )
         else:
-            post(self._gate_unreliable(op, 0, "GET", op.nbytes))
+            post(first)
 
-    def _post_signal_ctrl(self, op: TransferOp) -> None:
+    def _post_signal_ctrl(self, op: TransferOp, opid: int = 0) -> None:
         unr = self.unr
         env = self.env
         self._check_ctrl_lane(op)
@@ -712,24 +730,104 @@ class TransferEngine:
             if not dst_nic.cq.try_push(rec):
                 env.process(dst_nic.cq.push(rec), name="ctrl-cqe")
 
+        on_del: Optional[Callable[[Any], None]] = deliver
+        oprec = self._record_op(op, None, opid, 0)
+        if oprec is not None:
+            on_del = self._stamp_wrap(oprec, on_del)
         unr.channel.put(
             op.src_rank,
             op.dst_rank,
             CTRL_BYTES,
-            on_deliver=deliver,
+            on_deliver=on_del,
             ordered=True,
         )
 
-    def _post_payload_ctrl(self, op: TransferOp) -> Any:
+    def _post_payload_ctrl(self, op: TransferOp, opid: int = 0) -> Any:
         self._check_ctrl_lane(op)
+        on_del = op.on_deliver
+        oprec = self._record_op(op, None, opid, 0)
+        if oprec is not None:
+            on_del = self._stamp_wrap(oprec, on_del)
         return self.unr.channel.put(
             op.src_rank,
             op.dst_rank,
             op.nbytes,
             payload=op.payload,
-            on_deliver=op.on_deliver,
+            on_deliver=on_del,
             ordered=True,
         )
+
+    # -- obs op-metadata emission (unrverify layer 1) ----------------------
+    def _record_op(
+        self,
+        op: TransferOp,
+        sp: Optional[StripePlan],
+        opid: int,
+        rail: int,
+        rtok: Optional[int] = None,
+        ltok: Optional[int] = None,
+    ) -> Any:
+        """Append one obs :class:`~repro.obs.recorder.OpRecord` (or
+        ``None`` when observation is disarmed).  Purely passive: list
+        appends only, no simulator events, no RNG."""
+        obs = self.unr.obs
+        if obs is None:
+            return None
+        write = read = None
+        deliver_rank = op.dst_rank
+        if op.kind == "put" and sp is not None:
+            dst, src = op.remote_blk, op.local_blk
+            if dst is not None:
+                write = (dst.rank, dst.mr_handle, dst.offset + sp.offset, sp.size)
+            if src is not None:
+                read = (src.rank, src.mr_handle, src.offset + sp.offset, sp.size)
+        elif op.kind == "get" and sp is not None:
+            loc, rem = op.local_blk, op.remote_blk
+            if loc is not None:
+                write = (loc.rank, loc.mr_handle, loc.offset, loc.size)
+            if rem is not None:
+                read = (rem.rank, rem.mr_handle, rem.offset, rem.size)
+            deliver_rank = op.src_rank
+        tag = None
+        if op.kind == "ctrl" and isinstance(op.payload, tuple) and len(op.payload) == 3:
+            tag = None if op.payload[1] is None else str(op.payload[1])
+        if op.kind == "ctrl":
+            lane = "ctrl"
+        elif rail == FALLBACK_RAIL:
+            lane = "fallback"
+        else:
+            lane = "rma"
+        return obs.record_op(
+            op_id=opid, kind=op.kind, lane=lane,
+            src_rank=op.src_rank, dst_rank=op.dst_rank,
+            deliver_rank=deliver_rank,
+            nbytes=sp.size if sp is not None else op.nbytes,
+            post_time=self.env.now, rail=rail,
+            frag_index=sp.index if sp is not None else 0,
+            write=write, read=read,
+            rsid=op.rsid, lsid=op.lsid,
+            rnode=op.dst_node, lnode=op.src_node,
+            rtok=rtok, ltok=ltok,
+            ctrl_sid=op.ctrl_sid, tag=tag,
+        )
+
+    def _stamp_wrap(
+        self, oprec: Any, inner: Optional[Callable[[Any], None]]
+    ) -> Callable[[Any], None]:
+        """Wrap a delivery callback to stamp the op record's
+        ``deliver_time``/``deliver_seq`` on *first* delivery (duplicate
+        and retransmit deliveries do not restamp)."""
+        obs = self.unr.obs
+        env = self.env
+
+        def deliver(data: Any) -> None:
+            if oprec.deliver_time is None:
+                oprec.deliver_time = env.now
+                oprec.deliver_seq = obs.next_seq()
+            if inner is not None:
+                inner(data)
+
+        return deliver
 
     # -- delivery / add closures -----------------------------------------
     def _first_delivery(self, view: Any, evt: Any) -> Callable[[Any], None]:

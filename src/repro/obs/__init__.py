@@ -25,13 +25,15 @@ from .export import (
     write_bench,
     write_perfetto,
 )
-from .recorder import Histogram, InstantEvent, Recorder
+from .recorder import Histogram, InstantEvent, OpRecord, ProtoEvent, Recorder
 from .spans import Span, SpanHandle, SpanLog
 
 __all__ = [
     "Recorder",
     "Histogram",
     "InstantEvent",
+    "OpRecord",
+    "ProtoEvent",
     "Span",
     "SpanHandle",
     "SpanLog",

@@ -36,7 +36,7 @@ from .spans import SpanHandle, SpanLog
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..netsim.trace import TraceRecord
 
-__all__ = ["Histogram", "InstantEvent", "Recorder"]
+__all__ = ["Histogram", "InstantEvent", "OpRecord", "ProtoEvent", "Recorder"]
 
 
 @dataclass
@@ -76,6 +76,86 @@ class InstantEvent:
     args: Dict[str, Any] = field(default_factory=dict)
 
 
+#: (rank, mr_handle, offset, size) — one absolute byte interval of a
+#: registered memory region, as read or written by an operation.
+MrInterval = "Tuple[int, int, int, int]"
+
+
+@dataclass(slots=True)
+class OpRecord:
+    """Op-level metadata for one posted transfer fragment (unrverify).
+
+    Where :class:`~repro.netsim.trace.TraceRecord` captures the *wire*
+    view (which fragment crossed which rail when), an ``OpRecord``
+    captures the *protocol* view: which MR interval the fragment reads
+    and writes, which signal ids it notifies and with which idempotence
+    tokens.  ``seq`` is a recorder-wide monotone sequence number (see
+    :meth:`Recorder.next_seq`) giving a total order consistent with
+    execution order across the ``ops`` and ``protocol`` streams;
+    ``deliver_seq``/``deliver_time`` are stamped at first delivery
+    (retransmit and duplicate deliveries do not restamp).
+    """
+
+    seq: int
+    op_id: int
+    kind: str            # 'put' | 'get' | 'ctrl'
+    lane: str            # 'rma' | 'fallback' | 'ctrl'
+    src_rank: int
+    dst_rank: int
+    #: rank whose memory the delivery lands in (PUT: dst, GET: src).
+    deliver_rank: int
+    nbytes: int
+    post_time: float
+    rail: int = 0
+    frag_index: int = 0
+    #: MR interval written on delivery ((rank, mr, offset, size)).
+    write: Any = None
+    #: MR interval read at post time.
+    read: Any = None
+    rsid: Any = None
+    lsid: Any = None
+    #: node index hosting the remote (``rsid``/``ctrl_sid``) and local
+    #: (``lsid``) signal — the signal-table coordinates the HB builder
+    #: matches ``add`` events against.
+    rnode: Any = None
+    lnode: Any = None
+    rtok: Any = None
+    ltok: Any = None
+    ctrl_sid: Any = None
+    #: ctrl payload tag (``send_ctl``), for matching ``ctrl_recv`` events.
+    tag: Any = None
+    deliver_time: Any = None
+    deliver_seq: Any = None
+
+
+@dataclass(slots=True)
+class ProtoEvent:
+    """One notification-protocol event (unrverify).
+
+    Kinds: ``add`` (an MMAS counter add applied — or suppressed as a
+    duplicate — at ``(node, sid)``), ``wait`` (a ``sig_wait`` completed;
+    ``t0`` is when the wait began), ``reset``, ``sig_init``,
+    ``sig_free``, ``ctrl_recv`` (a ``recv_ctl`` resumed; ``peer``/
+    ``tag`` identify the matched sender) and ``stray_add`` (an add
+    targeting an unregistered sid).
+    """
+
+    seq: int
+    kind: str
+    t: float
+    rank: int
+    node: int = -1
+    sid: int = -1
+    addend: int = 0
+    token: Any = None
+    applied: bool = True
+    triggered: bool = False
+    num_event: int = 0
+    t0: float = 0.0
+    peer: int = -1
+    tag: Any = None
+
+
 class Recorder:
     """One process-wide registry of counters, gauges, histograms,
     instant events, spans and NIC transfer records.
@@ -96,6 +176,14 @@ class Recorder:
         #: appended by :mod:`repro.obs.instrument`;
         #: :class:`~repro.netsim.trace.MessageTrace` is a view over it.
         self.transfers: List["TraceRecord"] = []
+        #: op-level protocol metadata (unrverify layer 1): one
+        #: :class:`OpRecord` per posted transfer fragment, and one
+        #: :class:`ProtoEvent` per notification-protocol action.
+        #: Deliberately *not* surfaced in :meth:`snapshot` — the bench
+        #: artifacts stay byte-stable across this addition.
+        self.ops: List[OpRecord] = []
+        self.protocol: List[ProtoEvent] = []
+        self._seq = 0
         self._collectors: List[Callable[[], Dict[str, float]]] = []
         self._sim_events = 0
         self._sim_heap_max = 0
@@ -164,6 +252,30 @@ class Recorder:
     ) -> None:
         """Record a span with known bounds (retroactive)."""
         self.spans.add_complete(track, name, t0, t1, cat=cat, **args)
+
+    # -- op / protocol streams (unrverify) ---------------------------------
+    def next_seq(self) -> int:
+        """Recorder-wide monotone sequence number.
+
+        Stamped on every :class:`OpRecord` / :class:`ProtoEvent` (and on
+        delivery), giving one total order consistent with execution
+        order across both streams — the backbone of the happens-before
+        graph in :mod:`repro.analysis.verify`.
+        """
+        self._seq += 1
+        return self._seq
+
+    def record_op(self, **kw: Any) -> "OpRecord":
+        """Append one :class:`OpRecord` (stamped with the next seq)."""
+        rec = OpRecord(seq=self.next_seq(), **kw)
+        self.ops.append(rec)
+        return rec
+
+    def record_proto(self, kind: str, **kw: Any) -> "ProtoEvent":
+        """Append one :class:`ProtoEvent` at the current simulated time."""
+        ev = ProtoEvent(seq=self.next_seq(), kind=kind, t=self.env.now, **kw)
+        self.protocol.append(ev)
+        return ev
 
     # -- sim-kernel hook (hot path: two plain statements) ------------------
     def on_sim_step(self, heap_depth: int) -> None:

@@ -319,7 +319,7 @@ class Process(Event):
         except StopProcess as exc:
             self.succeed(exc.value)
             return
-        except BaseException as exc:  # noqa: BLE001 - propagate via event
+        except BaseException as exc:  # noqa: BLE001  # unrlint: disable=UNR005 - rethrown via event.fail
             self.fail(exc)
             return
         finally:
@@ -337,7 +337,7 @@ class Process(Event):
         except StopProcess as stop:
             self.succeed(stop.value)
             return
-        except BaseException as err:  # noqa: BLE001
+        except BaseException as err:  # noqa: BLE001  # unrlint: disable=UNR005 - rethrown via event.fail
             self.fail(err)
             return
         finally:

@@ -1,4 +1,4 @@
-"""Fixture: broad handlers that can swallow UnrTimeoutError (UNR005 x3)."""
+"""Fixture: broad handlers that can swallow UnrTimeoutError (UNR005 x4)."""
 
 
 def run_all(jobs, log):
@@ -15,3 +15,10 @@ def run_all(jobs, log):
         jobs[-1].join()
     except (ValueError, Exception) as exc:
         log.append(str(exc))
+
+
+def reap(worker, log):
+    try:
+        worker.reap()
+    except BaseException:  # noqa: BLE001
+        log.append("reaped the hard way")

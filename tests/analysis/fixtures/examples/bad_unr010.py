@@ -1,0 +1,18 @@
+"""Fixture: RMA posts whose notifications are never awaited (UNR010 x2).
+
+Lives under an ``examples/`` path segment so the protocol-conformance
+pass runs without ``force_protocol``.
+"""
+
+
+def fire_and_forget(ep, blk, rmt):
+    ep.put(blk, rmt)  # flagged: no wait-like call reachable
+
+
+def push_then_pull(ep, blk, rmt):
+    ep.get(blk, rmt)  # flagged: same, via .get
+
+
+def main(ep, blk, rmt):
+    fire_and_forget(ep, blk, rmt)
+    push_then_pull(ep, blk, rmt)

@@ -1,0 +1,17 @@
+"""Fixture: unguarded buffer/plan reuse (UNR011 x3)."""
+
+
+def replay(plan, steps):
+    for _ in range(steps):
+        plan.start()  # flagged: replay loop with no wait or re-arm
+
+
+def free_then_post(ep, sig, blk, rmt):
+    ep.sig_wait(sig)
+    ep.sig_free(sig)
+    ep.put(blk, rmt)  # flagged: posting after the guarding signal died
+
+
+def drain_then_start(engine, plan):
+    engine.drain()
+    plan.start()  # flagged: replay after drain without re-arming

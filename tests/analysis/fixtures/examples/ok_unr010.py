@@ -1,0 +1,25 @@
+"""Fixture: every RMA post has a reachable wait — UNR010 stays quiet.
+
+Covers the direct case (wait in the same function), the
+inter-procedural case (the helper posts, its caller waits), and a
+non-endpoint ``.get`` that must not look like an RMA post.
+"""
+
+
+def ping(ep, sig, blk, rmt):
+    ep.put(blk, rmt)
+    ep.sig_wait(sig)
+
+
+def halo_push(ep, blk, rmt):
+    ep.put(blk, rmt)  # the wait lives in exchange(), our caller
+
+
+def exchange(ep, sig, blk, rmt):
+    halo_push(ep, blk, rmt)
+    ep.sig_wait(sig)
+    ep.sig_reset(sig)
+
+
+def lookup(table, key):
+    return table.get(key, None)  # dict.get, not an endpoint post

@@ -1,0 +1,27 @@
+"""Fixture: guarded reuse patterns that must NOT trip UNR011.
+
+The fan-out loop posts to many peers and waits *after* the loop (the
+collectives idiom); the pipelined loop waits and re-arms inside; the
+teardown re-arms with sig_init before posting again.
+"""
+
+
+def fan_out(ep, sig, blks, remotes):
+    for blk, rmt in zip(blks, remotes):
+        ep.put(blk, rmt)
+    ep.sig_wait(sig)
+
+
+def pipelined(ep, sig, blk, rmt, steps):
+    for _ in range(steps):
+        ep.put(blk, rmt)
+        ep.sig_wait(sig)
+        ep.sig_reset(sig)
+
+
+def rearm_then_post(ep, old_sig, blk, rmt):
+    ep.sig_wait(old_sig)
+    ep.sig_free(old_sig)
+    sig = ep.sig_init(1)
+    ep.put(blk, rmt)
+    ep.sig_wait(sig)

@@ -1,0 +1,114 @@
+"""Property tests for the unrverify mechanism layer: vector-clock
+algebra (Hypothesis) and happens-before structure on the golden corpus."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import HBGraph, VectorClock, build_hb_graph
+from repro.bench.fingerprints import run_schedule_observed
+
+ACTORS = st.sampled_from(["r0", "r1", "r2", "n0:deliver", "n1:deliver"])
+CLOCKS = st.dictionaries(ACTORS, st.integers(min_value=0, max_value=12),
+                         max_size=5).map(VectorClock)
+
+
+# -- vector-clock laws --------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(clock=CLOCKS, actor=ACTORS)
+def test_tick_is_strictly_monotone(clock, actor):
+    ticked = clock.tick(actor)
+    assert clock.leq(ticked)
+    assert not ticked.leq(clock)
+    assert ticked.get(actor) == clock.get(actor) + 1
+    # Every other component is untouched.
+    others = {k: v for k, v in ticked.components().items() if k != actor}
+    assert others == {k: v for k, v in clock.components().items() if k != actor}
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=CLOCKS, b=CLOCKS)
+def test_join_is_commutative(a, b):
+    assert a.join(b) == b.join(a)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=CLOCKS, b=CLOCKS, c=CLOCKS)
+def test_join_is_associative(a, b, c):
+    assert a.join(b).join(c) == a.join(b.join(c))
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=CLOCKS, b=CLOCKS)
+def test_join_is_idempotent_upper_bound(a, b):
+    j = a.join(b)
+    assert a.join(a) == a
+    assert a.leq(j) and b.leq(j)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=CLOCKS, b=CLOCKS, c=CLOCKS)
+def test_leq_is_a_partial_order(a, b, c):
+    assert a.leq(a)
+    if a.leq(b) and b.leq(a):
+        assert a == b
+    if a.leq(b) and b.leq(c):
+        assert a.leq(c)
+
+
+# -- graph mechanics ----------------------------------------------------------
+
+def test_cycle_is_detected_not_silently_ordered():
+    g = HBGraph()
+    a = g.add_event("r0", "post", 0.0, 0)
+    b = g.add_event("r0", "wait", 1.0, 1)
+    g.add_edge(a, b)
+    g.add_edge(b, a)
+    assert not g.is_acyclic()
+    assert {ev.idx for ev in g.cycle_events()} == {a.idx, b.idx}
+
+
+def test_reachability_is_exact_not_clock_approximate():
+    # Two delivers share the node actor without a chaining edge: the
+    # clocks alone would order them, the bitset must not.
+    g = HBGraph()
+    p0 = g.add_event("r0", "post", 0.0, 0)
+    p1 = g.add_event("r1", "post", 0.0, 1)
+    d0 = g.add_event("n0:deliver", "deliver", 5.0, 2)
+    d1 = g.add_event("n0:deliver", "deliver", 6.0, 3)
+    g.add_edge(p0, d0)
+    g.add_edge(p1, d1)
+    assert g.is_acyclic()
+    assert g.happens_before(p0, d0)
+    assert g.concurrent(d0, d1)
+    assert g.concurrent(p0, p1)
+
+
+def test_self_edge_is_rejected():
+    g = HBGraph()
+    a = g.add_event("r0", "post", 0.0, 0)
+    with pytest.raises(ValueError):
+        g.add_edge(a, a)
+
+
+# -- structure on the real corpus ---------------------------------------------
+
+@pytest.mark.parametrize("platform,schedule", [
+    ("th-xy", "latency"),
+    ("th-xy", "stream"),
+    ("hpc-ib", "powerllel"),
+    ("th-2a", "fault_stress"),
+])
+def test_golden_graphs_are_acyclic_and_clock_monotone(platform, schedule):
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        _, recorder = run_schedule_observed(platform, schedule)
+    graph = build_hb_graph(recorder)
+    assert len(graph.events) > 0
+    assert graph.n_edges > 0
+    assert graph.is_acyclic()
+    assert graph.clock_monotone_along_edges()
+    assert graph.chain_time_regressions() == []

@@ -1,0 +1,24 @@
+"""Smoke test for the ``repro check`` self-check battery (UnrSanitizer):
+the clean demo stays clean and passive, and every deliberate violation
+in the battery is caught."""
+
+from repro.analysis.selfcheck import (
+    SELFTEST_KINDS,
+    sanitized_stream_demo,
+    sanitizer_selftest,
+)
+
+
+def test_sanitized_stream_demo_is_clean_and_passive():
+    demo = sanitized_stream_demo(platform="th-xy", size=8192, iters=2, seed=7)
+    report = demo["report"]
+    assert len(report) == 0, [f.format() for f in report]
+    assert demo["correct"], "sanitizer perturbed payload delivery"
+    assert demo["identical"], "sanitizer perturbed the wire fingerprint"
+
+
+def test_selftest_catches_every_deliberate_violation():
+    results = sanitizer_selftest("th-xy")
+    assert set(results) == set(SELFTEST_KINDS)
+    missed = [kind for kind, res in results.items() if not res["found"]]
+    assert missed == [], f"sanitizer self-test missed: {missed}"

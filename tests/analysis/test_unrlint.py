@@ -49,7 +49,8 @@ def test_unr004_flags_heapq_outside_kernel():
 def test_unr005_flags_broad_handlers():
     findings = lint_fixture("bad_unr005.py")
     assert rules_of(findings) == ["UNR005"]
-    assert len(findings) == 3  # except Exception, bare except, tuple form
+    # except Exception, bare except, tuple form, except BaseException
+    assert len(findings) == 4
 
 
 def test_unr006_flags_wallclock_in_obs_scope():
@@ -87,6 +88,30 @@ def test_unr009_flags_unslotted_hot_path_class_only():
     assert "HotRecord" in findings[0].message
 
 
+def test_unr010_flags_posts_with_no_reachable_wait():
+    findings = lint_fixture("examples/bad_unr010.py")
+    assert rules_of(findings) == ["UNR010"]
+    assert len(findings) == 2  # ep.put and ep.get, neither ever awaited
+
+
+def test_unr011_flags_unguarded_reuse():
+    findings = lint_fixture("examples/bad_unr011.py")
+    assert rules_of(findings) == ["UNR011"]
+    # replay loop, post-after-sig_free, start-after-drain
+    assert len(findings) == 3
+
+
+def test_protocol_pass_is_scope_gated():
+    # The same source outside a workload scope stays quiet unless the
+    # config forces the protocol pass on.
+    src = (FIXTURES / "examples" / "bad_unr010.py").read_text()
+    assert lint_source(src, path="somewhere/else.py") == []
+    forced = lint_source(
+        src, path="somewhere/else.py", config=LintConfig(force_protocol=True)
+    )
+    assert rules_of(forced) == ["UNR010"]
+
+
 # -- per-rule: must NOT trigger ----------------------------------------------
 
 @pytest.mark.parametrize(
@@ -104,6 +129,8 @@ def test_unr009_flags_unslotted_hot_path_class_only():
         "core/health.py",  # retry loops allowed in the reliability layer
         "netsim/node.py",  # slotted hot-path module
         "ok_unr009.py",  # un-slotted classes outside the UNR009 scope
+        "examples/ok_unr010.py",  # every post has a reachable wait
+        "examples/ok_unr011.py",  # guarded fan-out / pipelined / re-armed reuse
     ],
 )
 def test_clean_fixture(fixture):

@@ -81,6 +81,65 @@ def test_lint_select_and_list_rules(capsys):
     assert main(["lint", "--select", "NOPE42"]) == 2
 
 
+def test_lint_json_format(capsys):
+    import json
+
+    rc = main(["lint", "--format", "json", str(FIXTURES / "bad_unr001.py")])
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["summary"]["total"] == len(doc["findings"]) > 0
+    assert all(f["rule"] == "UNR001" for f in doc["findings"])
+
+
+def test_lint_sarif_output_file(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "lint.sarif"
+    rc = main([
+        "lint", "--format", "sarif", "--output", str(out_path),
+        str(FIXTURES / "bad_unr004.py"),
+    ])
+    assert rc == 1
+    assert str(out_path) in capsys.readouterr().out
+    doc = json.loads(out_path.read_text())
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "unrlint"
+    assert {r["ruleId"] for r in run["results"]} == {"UNR004"}
+    region = run["results"][0]["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+
+def test_verify_mutants_and_static(capsys):
+    rc = main(["verify", "--corpus", "mutants"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "8/8 seeded bugs flagged" in out
+    assert "static pass" in out
+    assert "verify: OK" in out
+
+
+def test_verify_golden_single_platform(capsys):
+    rc = main(["verify", "--corpus", "golden", "--platform", "th-xy",
+               "--no-static"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "4/4 scenarios clean" in out
+
+
+def test_verify_sarif_output(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "verify.sarif"
+    rc = main(["verify", "--corpus", "mutants", "--no-static",
+               "--format", "sarif", "--output", str(out_path)])
+    assert rc == 0
+    doc = json.loads(out_path.read_text())
+    assert doc["version"] == "2.1.0"
+    # A fully-flagged mutant corpus yields zero *reportable* findings.
+    assert doc["runs"][0]["results"] == []
+
+
 def test_trace_writes_valid_artifacts(tmp_path, capsys):
     perfetto = tmp_path / "trace.json"
     bench = tmp_path / "bench.json"
