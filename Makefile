@@ -8,6 +8,10 @@
 #   make demo-faults - the fault-injection acceptance demo
 #   make trace       - observed trace demo: Perfetto JSON + bench record
 #   make bench-engine - unified-engine datapath micro-benchmark (gated)
+#   make profile     - unrprof host-time profile: BENCH_profile.json +
+#                      flamegraph stacks, overhead gated at 10%
+#   make bench-report - trend table + regression gates over the
+#                      BENCH_*.json artifacts present in the repo root
 #   make test-diff   - differential suite: coalesced datapath vs
 #                      uncoalesced reference + golden fingerprints
 #   make lint        - unrlint determinism rules (+ ruff when installed)
@@ -21,7 +25,7 @@ PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 REPRO   = PYTHONPATH=src $(PYTHON) -m repro
 
-.PHONY: test test-fast test-all test-slow test-chaos test-diff demo-faults trace bench-engine lint verify typecheck check
+.PHONY: test test-fast test-all test-slow test-chaos test-diff demo-faults trace bench-engine profile bench-report lint verify typecheck check
 
 test: test-fast
 
@@ -54,6 +58,26 @@ trace:
 bench-engine:
 	$(REPRO) engine-bench --out BENCH_engine.json \
 		--max-events-per-put 12 --min-ops-per-sim-sec 270000
+
+# Host-time attribution of the latency workload (BENCH_profile.json +
+# collapsed stacks), then the profiler-tax gate on the engine
+# micro-benchmark: profiled wall time may exceed observed by <=10%.
+profile:
+	$(REPRO) profile latency --sample-every 1 \
+		--output BENCH_profile.json --flame profile_flame.txt \
+		--overhead-repeats 15 --max-overhead-pct 10
+
+# Trend + regression gates over whatever bench artifacts exist locally
+# (each of the targets above drops one in the repo root).  CI runs the
+# same command with the prior run's downloaded artifacts prepended.
+bench-report:
+	@files="$$(ls BENCH_*.json 2>/dev/null)"; \
+	if [ -n "$$files" ]; then \
+		$(REPRO) bench-report $$files \
+			--max-events-per-put 12 --min-ops-per-sim-sec 270000; \
+	else \
+		echo "no BENCH_*.json artifacts; run make trace/bench-engine/profile first"; \
+	fi
 
 # Differential mode: coalesced/zero-copy datapath vs the uncoalesced
 # reference — identical wire fingerprints, token streams, clean

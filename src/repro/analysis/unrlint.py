@@ -46,10 +46,20 @@ UNR010  an RMA post (``ep.put``/``ep.get``) with no wait-like call
 UNR011  unguarded buffer/plan reuse: a replay loop with no reachable
         wait or ``sig_reset``, or posting after ``sig_free`` /
         ``finalize`` / ``drain`` (workload scopes)
+UNR012  wall-clock sources anywhere outside ``obs/profile.py`` — the
+        host-time profiler is the ONE sanctioned wall-clock user;
+        everything else reads ``env.now`` or routes through
+        ``repro.obs.profile.host_clock_ns``
 ======= ==============================================================
 
 UNR005 covers ``except Exception``, bare ``except`` *and*
 ``except BaseException`` — all three can swallow ``UnrTimeoutError``.
+UNR002/UNR006/UNR012 partition the same wall-clock patterns by
+location: deterministic scopes report UNR002, the observability layer
+UNR006, and every remaining path UNR012 — so the only file in the
+repo that may read a host clock without a suppression comment is the
+one named by :attr:`LintConfig.wallclock_allowed_suffixes`
+(``obs/profile.py``, the unrprof host-time profiler).
 UNR010/UNR011 are the static half of unrverify; they run only on files
 under the workload scopes (``examples/``, ``powerllel/``,
 ``collectives/``) unless :attr:`LintConfig.force_protocol` is set.
@@ -166,6 +176,14 @@ RULES: Dict[str, Rule] = {
             "of a buffer or replayed plan, and never post after "
             "sig_free/finalize/drain tore the guard down",
         ),
+        Rule(
+            "UNR012",
+            "wall-clock time source outside the sanctioned profiler",
+            "obs/profile.py (unrprof) is the one module allowed to read "
+            "host clocks — time things through "
+            "repro.obs.profile.host_clock_ns / HostProfiler, or use "
+            "env.now if you meant simulated time",
+        ),
     )
 }
 
@@ -199,7 +217,11 @@ class LintConfig:
     ``select`` limits checking to the given rule ids (``None`` = all).
     ``wallclock_scopes`` are the path components in which UNR002
     applies; ``obs_scopes`` the components in which the same wall-clock
-    patterns report as UNR006 instead.  ``heapq_allowed_suffixes`` are
+    patterns report as UNR006 instead; everywhere else they report as
+    UNR012 unless the file's ``/``-normalised path ends with one of
+    ``wallclock_allowed_suffixes`` (the unrprof host-time profiler,
+    the single sanctioned wall-clock user).
+    ``heapq_allowed_suffixes`` are
     ``/``-normalised path suffixes where UNR004 is permitted (the
     kernel itself); ``cq_allowed_suffixes`` likewise scope UNR007 to
     the unified progress engine, and ``retry_allowed_suffixes`` scope
@@ -211,6 +233,7 @@ class LintConfig:
     select: Optional[FrozenSet[str]] = None
     wallclock_scopes: Tuple[str, ...] = ("sim", "netsim", "core")
     obs_scopes: Tuple[str, ...] = ("obs",)
+    wallclock_allowed_suffixes: Tuple[str, ...] = ("obs/profile.py",)
     heapq_allowed_suffixes: Tuple[str, ...] = ("sim/core.py",)
     cq_allowed_suffixes: Tuple[str, ...] = ("core/engine.py",)
     retry_allowed_suffixes: Tuple[str, ...] = (
@@ -328,11 +351,13 @@ class _Visitor(ast.NodeVisitor):
     def __init__(self, path: str, config: LintConfig, in_wallclock_scope: bool,
                  heapq_allowed: bool, in_obs_scope: bool = False,
                  cq_allowed: bool = False, retry_allowed: bool = False,
-                 slots_scope: bool = False) -> None:
+                 slots_scope: bool = False,
+                 wallclock_allowed: bool = False) -> None:
         self.path = path
         self.config = config
         self.in_wallclock_scope = in_wallclock_scope
         self.in_obs_scope = in_obs_scope
+        self.wallclock_allowed = wallclock_allowed
         self.heapq_allowed = heapq_allowed
         self.cq_allowed = cq_allowed
         self.retry_allowed = retry_allowed
@@ -410,7 +435,7 @@ class _Visitor(ast.NodeVisitor):
         resolved = self._canonical(chain)
         if resolved is not None:
             self._check_rng_call(node, resolved)
-            if self.in_wallclock_scope or self.in_obs_scope:
+            if not self.wallclock_allowed:
                 self._check_wallclock_call(node, resolved)
         self._check_cq_drain(node)
         self.generic_visit(node)
@@ -468,11 +493,12 @@ class _Visitor(ast.NodeVisitor):
     def _check_wallclock_call(self, node: ast.Call, resolved: str) -> None:
         parts = resolved.split(".")
         root = parts[0]
-        rule_id = "UNR006" if self.in_obs_scope else "UNR002"
-        where = (
-            "the observability layer" if rule_id == "UNR006"
-            else "a deterministic scope"
-        )
+        if self.in_obs_scope:
+            rule_id, where = "UNR006", "the observability layer"
+        elif self.in_wallclock_scope:
+            rule_id, where = "UNR002", "a deterministic scope"
+        else:
+            rule_id, where = "UNR012", "a module that is not obs/profile.py"
         if root == "time" and parts[-1] in _WALLCLOCK_TIME_FUNCS:
             self._flag(
                 rule_id, node,
@@ -647,6 +673,11 @@ def _in_obs_scope(path: str, config: LintConfig) -> bool:
     return any(part in config.obs_scopes for part in parts)
 
 
+def _wallclock_allowed(path: str, config: LintConfig) -> bool:
+    norm = _norm(path)
+    return any(norm.endswith(suffix) for suffix in config.wallclock_allowed_suffixes)
+
+
 def _heapq_allowed(path: str, config: LintConfig) -> bool:
     norm = _norm(path)
     return any(norm.endswith(suffix) for suffix in config.heapq_allowed_suffixes)
@@ -701,6 +732,7 @@ def lint_source(
         cq_allowed=_cq_allowed(path, config),
         retry_allowed=_retry_allowed(path, config),
         slots_scope=_slots_scope(path, config),
+        wallclock_allowed=_wallclock_allowed(path, config),
     )
     visitor.visit(tree)
     all_findings = list(visitor.findings)

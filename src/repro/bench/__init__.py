@@ -14,6 +14,7 @@ from .fingerprints import (
     compare_corpus,
     write_corpus,
 )
+from .history import check_thresholds, history_report, load_runs, render_trend
 from .latency import DEFAULT_SIZES, latency_table, mpi_rma_pingpong, unr_pingpong
 from .multinic import aggregation_sweep, imbalance_sweep, pingpong_with_calc
 from .powerllel_bench import (
@@ -23,6 +24,15 @@ from .powerllel_bench import (
     fig6_polling_study,
     fig7_scaling,
     powerllel_point,
+)
+from .profile_bench import (
+    PROFILE_SCHEMA,
+    PROFILE_WORKLOADS,
+    measure_overhead,
+    profile_bench,
+    validate_profile_bench,
+    validate_profile_bench_file,
+    write_profile_bench,
 )
 from .report import format_series, format_size, format_table
 from .resilience import (
@@ -41,14 +51,22 @@ __all__ = [
     "DEFAULT_SIZES",
     "ENGINE_BENCH_SCHEMA",
     "GOLDEN_SCHEMA",
+    "PROFILE_SCHEMA",
+    "PROFILE_WORKLOADS",
     "RESILIENCE_SCHEMA",
     "FIG6_GRIDS",
     "FIG7_SERIES",
     "TRACE_DEMOS",
     "aggregation_sweep",
+    "check_thresholds",
     "collect_fingerprints",
     "compare_corpus",
     "engine_bench",
+    "history_report",
+    "load_runs",
+    "measure_overhead",
+    "profile_bench",
+    "render_trend",
     "fault_demo",
     "fig6_platform",
     "fig6_polling_study",
@@ -66,9 +84,12 @@ __all__ = [
     "unr_pingpong",
     "validate_engine_bench",
     "validate_engine_bench_file",
+    "validate_profile_bench",
+    "validate_profile_bench_file",
     "validate_resilience_bench",
     "validate_resilience_bench_file",
     "write_corpus",
     "write_engine_bench",
+    "write_profile_bench",
     "write_resilience_bench",
 ]

@@ -57,20 +57,26 @@ def _path_metrics(recorder: Recorder, ops_key: str) -> Dict[str, Any]:
     }
 
 
-def _put_pingpong(platform: str, size: int, iters: int, seed: int) -> Recorder:
+def _put_pingpong(
+    platform: str, size: int, iters: int, seed: int, profiler: Any = None
+) -> Recorder:
     """The Figure 4 notified PUT ping-pong, observed (2 * iters puts)."""
     from .latency import unr_pingpong
 
     out: Dict[str, Any] = {}
-    unr_pingpong(platform, size, iters, out=out)
+    unr_pingpong(platform, size, iters, out=out, profiler=profiler)
     return out["recorder"]
 
 
-def _get_pull_loop(platform: str, size: int, iters: int, seed: int) -> Recorder:
+def _get_pull_loop(
+    platform: str, size: int, iters: int, seed: int, profiler: Any = None
+) -> Recorder:
     """Rank 0 repeatedly GETs a patterned buffer from rank 1 (iters gets)."""
     plat = get_platform(platform)
     job = make_job(platform, 2, seed=seed)
     recorder = Recorder.attach(job.cluster)
+    if profiler is not None:
+        profiler.attach(job.cluster, profiler)
     unr = Unr(job, plat.channel, observe=recorder)
 
     def program(ctx: Any) -> Generator[Any, Any, float]:
@@ -104,10 +110,16 @@ def engine_bench(
     size: int = 65536,
     iters: int = 6,
     seed: int = 2024,
+    profiler: Any = None,
 ) -> Dict[str, Any]:
-    """Run both datapaths; returns the ``BENCH_engine.json`` record."""
-    put_rec = _put_pingpong(platform, size, iters, seed)
-    get_rec = _get_pull_loop(platform, size, iters, seed)
+    """Run both datapaths; returns the ``BENCH_engine.json`` record.
+
+    ``profiler`` (a :class:`repro.obs.HostProfiler`) attaches to both
+    runs' clusters and accumulates host-time attribution across them;
+    the deterministic metrics are identical with or without it.
+    """
+    put_rec = _put_pingpong(platform, size, iters, seed, profiler)
+    get_rec = _get_pull_loop(platform, size, iters, seed, profiler)
     paths = {
         "put": _path_metrics(put_rec, "core.puts"),
         "get": _path_metrics(get_rec, "core.gets"),

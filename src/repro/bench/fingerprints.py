@@ -213,9 +213,20 @@ def _setup_schedule(
     return job, recorder, program
 
 
-def run_schedule(platform: str, schedule: str, *, seed: int = 0xC0FFEE) -> str:
-    """Run one corpus schedule on ``platform``; returns its fingerprint."""
+def run_schedule(
+    platform: str, schedule: str, *, seed: int = 0xC0FFEE,
+    profiler: Optional[Any] = None,
+) -> str:
+    """Run one corpus schedule on ``platform``; returns its fingerprint.
+
+    A ``profiler`` (:class:`repro.obs.HostProfiler`) arms host-time
+    profiling for the run; the fingerprint must be bit-identical either
+    way (that is the UNR012 passivity contract, and what
+    ``tests/obs/test_profile.py`` checks against the golden corpus).
+    """
     job, recorder, program = _setup_schedule(platform, schedule, seed, observe_core=False)
+    if profiler is not None:
+        profiler.attach(job.cluster, profiler)
     run_job(job, program)
     return transfer_fingerprint(recorder.transfers)
 

@@ -1,0 +1,302 @@
+"""``repro bench-report --history``: cross-run bench trend tracking.
+
+The bench emitters each write one point-in-time artifact —
+``BENCH_engine.json`` (datapath cost), ``BENCH_obs.json`` (trace
+demo), ``BENCH_resilience.json`` (chaos soak), ``BENCH_profile.json``
+(host-time attribution).  This module turns any set of those files
+into a *trajectory*: runs are normalized to a flat metric row keyed by
+git SHA + platform + name, rendered as a terminal or markdown trend
+table (CI posts the markdown to the job summary next to the prior
+run's downloaded artifact), and gated by configurable regression
+thresholds:
+
+* ``max_events_per_put``   — ceiling on the engine headline metric;
+* ``min_ops_per_sim_sec``  — floor on the engine PUT path throughput;
+* ``max_share``            — per-layer ceilings on the profile's host
+  self-time share (e.g. ``obs=0.15`` fails the report if the
+  observability layer ever burns >15% of host time).
+
+Thresholds apply to the **latest** run of each series (input order =
+chronological order, the CI convention of prior-artifact-then-current);
+earlier rows are context.  Unknown schemas are reported, not silently
+dropped — a trend table that quietly ignores files reads as healthier
+than it is.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .report import format_table
+
+__all__ = [
+    "KNOWN_SCHEMAS",
+    "load_run",
+    "load_runs",
+    "history_report",
+    "check_thresholds",
+    "render_trend",
+]
+
+#: schema -> short series tag used in the trend table
+KNOWN_SCHEMAS = {
+    "repro.bench.engine/1": "engine",
+    "repro.obs.bench/1": "obs",
+    "repro.bench.resilience/1": "resilience",
+    "repro.bench.profile/1": "profile",
+}
+
+
+def _num(value: Any) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _extract_engine(record: Dict[str, Any]) -> Dict[str, float]:
+    metrics: Dict[str, float] = {}
+    spp = _num(record.get("sim_events_per_put"))
+    if spp is not None:
+        metrics["events_per_put"] = spp
+    put = record.get("paths", {}).get("put", {})
+    ops = _num(put.get("ops_per_sim_sec"))
+    if ops is not None:
+        metrics["put_ops_per_sim_sec"] = ops
+    return metrics
+
+
+def _extract_obs(record: Dict[str, Any]) -> Dict[str, float]:
+    snap = record.get("snapshot", {})
+    metrics: Dict[str, float] = {}
+    events = _num(snap.get("counters", {}).get("sim.events"))
+    if events is not None:
+        metrics["sim_events"] = events
+    t_end = _num(snap.get("t_end"))
+    if t_end is not None:
+        metrics["t_end_us"] = t_end * 1e6
+    transfers = _num(snap.get("n_transfers"))
+    if transfers is not None:
+        metrics["transfers"] = transfers
+    return metrics
+
+
+def _extract_resilience(record: Dict[str, Any]) -> Dict[str, float]:
+    metrics: Dict[str, float] = {}
+    for verdict in ("correct", "identical"):
+        if verdict in record:
+            metrics[verdict] = 1.0 if record[verdict] else 0.0
+    degraded = 0.0
+    for plat in record.get("platforms", {}).values():
+        for run in plat.get("runs", []):
+            degraded += float(run.get("degraded_ops", 0))
+    metrics["degraded_ops"] = degraded
+    return metrics
+
+
+def _extract_profile(record: Dict[str, Any]) -> Dict[str, float]:
+    metrics: Dict[str, float] = {}
+    for key in ("wall_ms", "coverage"):
+        value = _num(record.get(key))
+        if value is not None:
+            metrics[key] = value
+    n_events = _num(record.get("n_events"))
+    if n_events is not None:
+        metrics["events"] = n_events
+    layers = record.get("layers", {})
+    total_self = sum(
+        block.get("self_ns", 0) for block in layers.values()
+        if isinstance(block, dict)
+    )
+    if total_self > 0:
+        for layer, block in layers.items():
+            if isinstance(block, dict):
+                metrics[f"share.{layer}"] = block.get("self_ns", 0) / total_self
+    ratio = _num(record.get("overhead", {}).get("ratio")
+                 if isinstance(record.get("overhead"), dict) else None)
+    if ratio is not None:
+        metrics["overhead_ratio"] = ratio
+    return metrics
+
+
+_EXTRACTORS = {
+    "repro.bench.engine/1": _extract_engine,
+    "repro.obs.bench/1": _extract_obs,
+    "repro.bench.resilience/1": _extract_resilience,
+    "repro.bench.profile/1": _extract_profile,
+}
+
+
+def load_run(path: str) -> Dict[str, Any]:
+    """Normalize one ``BENCH_*.json`` into a flat trend row.
+
+    Returns ``{file, schema, series, name, platform, git_sha, metrics}``;
+    unknown schemas get ``series="?"`` and empty metrics so the caller
+    can surface them.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    schema = record.get("schema", "?") if isinstance(record, dict) else "?"
+    series = KNOWN_SCHEMAS.get(schema, "?")
+    extractor = _EXTRACTORS.get(schema)
+    run_block = record.get("run", {}) if isinstance(record, dict) else {}
+    return {
+        "file": path,
+        "schema": schema,
+        "series": series,
+        "name": record.get("name", "?") if isinstance(record, dict) else "?",
+        "platform": record.get("platform", "-") if isinstance(record, dict) else "-",
+        "git_sha": run_block.get("git_sha", "local")
+        if isinstance(run_block, dict) else "local",
+        "metrics": extractor(record) if extractor else {},
+    }
+
+
+def load_runs(paths: Sequence[str]) -> List[Dict[str, Any]]:
+    """Load every path, preserving input (chronological) order."""
+    return [load_run(p) for p in paths]
+
+
+def _series_key(run: Dict[str, Any]) -> Tuple[str, str, str]:
+    return (run["series"], run["name"], run["platform"])
+
+
+#: headline column per series, in trend-table order
+_HEADLINES = {
+    "engine": ("events_per_put", "put_ops_per_sim_sec"),
+    "obs": ("sim_events", "transfers", "t_end_us"),
+    "resilience": ("correct", "identical", "degraded_ops"),
+    "profile": ("wall_ms", "coverage", "share.engine", "overhead_ratio"),
+}
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    return f"{value:.3f}"
+
+
+def _delta(prev: Optional[float], cur: Optional[float]) -> str:
+    if prev is None or cur is None or prev == 0:
+        return ""
+    change = (cur - prev) / abs(prev)
+    if abs(change) < 0.0005:
+        return "="
+    return f"{change:+.1%}"
+
+
+def render_trend(runs: Sequence[Dict[str, Any]], fmt: str = "text") -> str:
+    """Render the trend table over ``runs`` (text or markdown).
+
+    One row per run; within a series, each headline metric carries the
+    delta vs the previous run of the same (series, name, platform).
+    """
+    headers = ["series", "name", "platform", "sha", "metric", "value", "Δ"]
+    rows: List[List[str]] = []
+    last_seen: Dict[Tuple[str, str, str, str], float] = {}
+    for run in runs:
+        key = _series_key(run)
+        headlines = _HEADLINES.get(run["series"], ())
+        shown = [m for m in headlines if m in run["metrics"]]
+        if not shown:
+            rows.append([run["series"], run["name"], run["platform"],
+                         run["git_sha"][:10], "(no metrics)", "-", ""])
+            continue
+        for metric in shown:
+            value = run["metrics"][metric]
+            prev = last_seen.get((*key, metric))
+            rows.append([
+                run["series"], run["name"], run["platform"],
+                run["git_sha"][:10], metric, _fmt(value), _delta(prev, value),
+            ])
+            last_seen[(*key, metric)] = value
+    if fmt == "md":
+        lines = ["| " + " | ".join(headers) + " |",
+                 "|" + "|".join("---" for _ in headers) + "|"]
+        for row in rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+    return format_table(headers, rows)
+
+
+def check_thresholds(
+    runs: Sequence[Dict[str, Any]],
+    *,
+    max_events_per_put: Optional[float] = None,
+    min_ops_per_sim_sec: Optional[float] = None,
+    max_share: Optional[Dict[str, float]] = None,
+) -> List[str]:
+    """Regression gates over the **latest** run of each series.
+
+    Returns failure strings (empty = all gates pass).
+    """
+    latest: Dict[Tuple[str, str, str], Dict[str, Any]] = {}
+    for run in runs:
+        latest[_series_key(run)] = run
+    failures: List[str] = []
+    for key, run in sorted(latest.items()):
+        metrics = run["metrics"]
+        where = "/".join(key)
+        if run["series"] == "engine":
+            spp = metrics.get("events_per_put")
+            if (max_events_per_put is not None and spp is not None
+                    and spp > max_events_per_put):
+                failures.append(
+                    f"{where}: events_per_put {spp:.2f} exceeds "
+                    f"ceiling {max_events_per_put:.2f}"
+                )
+            ops = metrics.get("put_ops_per_sim_sec")
+            if (min_ops_per_sim_sec is not None and ops is not None
+                    and ops < min_ops_per_sim_sec):
+                failures.append(
+                    f"{where}: put_ops_per_sim_sec {ops:.0f} below "
+                    f"floor {min_ops_per_sim_sec:.0f}"
+                )
+        if run["series"] == "profile" and max_share:
+            for layer, limit in sorted(max_share.items()):
+                share = metrics.get(f"share.{layer}")
+                if share is not None and share > limit:
+                    failures.append(
+                        f"{where}: host self-time share of layer "
+                        f"{layer!r} is {share:.1%}, over the {limit:.1%} cap"
+                    )
+        if run["series"] == "resilience":
+            for verdict in ("correct", "identical"):
+                if metrics.get(verdict) == 0.0:
+                    failures.append(f"{where}: resilience verdict {verdict!r} is False")
+    return failures
+
+
+def history_report(
+    paths: Sequence[str],
+    *,
+    fmt: str = "text",
+    max_events_per_put: Optional[float] = None,
+    min_ops_per_sim_sec: Optional[float] = None,
+    max_share: Optional[Dict[str, float]] = None,
+) -> Tuple[str, List[str]]:
+    """Load, render and gate; returns ``(report_text, failures)``."""
+    runs = load_runs(paths)
+    out: List[str] = [render_trend(runs, fmt=fmt)]
+    unknown = [run["file"] for run in runs if run["series"] == "?"]
+    if unknown:
+        out.append("")
+        out.append("unrecognized schemas (not trended): " + ", ".join(unknown))
+    failures = check_thresholds(
+        runs,
+        max_events_per_put=max_events_per_put,
+        min_ops_per_sim_sec=min_ops_per_sim_sec,
+        max_share=max_share,
+    )
+    if failures:
+        out.append("")
+        out.append("regression gates FAILED:")
+        out.extend(f"  - {f}" for f in failures)
+    elif any(run["series"] != "?" for run in runs):
+        out.append("")
+        out.append("regression gates: OK")
+    return "\n".join(out), failures

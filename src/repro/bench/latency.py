@@ -21,7 +21,7 @@ import numpy as np
 
 from ..core import Unr
 from ..mpi import MpiWorld, Win
-from ..obs import Recorder
+from ..obs import HostProfiler, Recorder
 from ..platforms import get_platform, make_job
 from ..runtime import run_job
 
@@ -38,15 +38,20 @@ def unr_pingpong(
     offload: bool = False,
     observe: bool = False,
     out: Optional[Dict] = None,
+    profiler: Optional["HostProfiler"] = None,
 ) -> float:
     """Half round-trip latency (seconds) of a UNR notified ping-pong.
 
     With ``observe=True`` (or an ``out`` dict to receive the recorder
     and job) the run is traced through :mod:`repro.obs` — passively, so
-    the reported latency is unchanged."""
+    the reported latency is unchanged.  A ``profiler``
+    (:class:`repro.obs.HostProfiler`) attaches before engine
+    construction and attributes host time without touching the wire."""
     plat = get_platform(platform)
     job = make_job(platform, 2, offload=offload)
     recorder = Recorder.attach(job.cluster) if (observe or out is not None) else None
+    if profiler is not None:
+        HostProfiler.attach(job.cluster, profiler)
     unr = Unr(job, plat.channel, observe=recorder)
     if out is not None:
         out["recorder"] = recorder

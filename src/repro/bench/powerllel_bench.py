@@ -55,6 +55,7 @@ def powerllel_point(
     faults: Optional[str] = None,
     fault_seed: Optional[int] = None,
     observe: bool = False,
+    profiler=None,
 ) -> Dict:
     """One PowerLLEL run on ``platform``; returns time + phase breakdown.
 
@@ -63,7 +64,8 @@ def powerllel_point(
     injector and the UNR backend arms its reliability layer.
     ``observe=True`` traces the run through :mod:`repro.obs` (passively;
     the reported times are unchanged) and adds a ``"recorder"`` key to
-    the result.
+    the result.  ``profiler`` (a :class:`repro.obs.HostProfiler`) arms
+    host-time attribution — also passive on the wire.
     """
     plat = get_platform(platform)
     job = make_job(platform, nodes, seed=seed)
@@ -80,6 +82,8 @@ def powerllel_point(
         # Attached before the run so the MPI substrate and collectives
         # see cluster.obs from the first message on.
         rec = Recorder.attach(job.cluster)
+    if profiler is not None:
+        profiler.attach(job.cluster, profiler)
     cfg = PowerLLELConfig(
         nx=nx, ny=ny, nz=nz, py=py, pz=pz, steps=steps, mode="model",
         pipeline_slabs=pipeline_slabs, threads=threads, lengths=(1.0, 1.0, 8.0),

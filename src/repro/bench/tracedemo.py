@@ -40,9 +40,14 @@ def trace_demo(
     fault_seed: Optional[int] = None,
     nodes: int = 4,
     steps: int = 1,
+    profiler: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Run one observed demo; returns ``{"name", "recorder", "result",
-    "params"}`` for the CLI / exporters."""
+    "params"}`` for the CLI / exporters.
+
+    ``profiler`` (a :class:`repro.obs.HostProfiler`) arms host-time
+    attribution on the demo's cluster — wire-passive, so traces are
+    identical with it on or off."""
     if demo not in TRACE_DEMOS:
         raise ValueError(f"unknown trace demo {demo!r} (choose from {TRACE_DEMOS})")
     params: Dict[str, Any] = {"platform": platform, "seed": seed}
@@ -50,14 +55,16 @@ def trace_demo(
         params.update(size=size, iters=iters, faults=faults)
         out = _stream_demo(
             platform=platform, size=size, iters=iters, seed=seed,
-            faults=faults, fault_seed=fault_seed,
+            faults=faults, fault_seed=fault_seed, profiler=profiler,
         )
     elif demo == "latency":
         params.update(size=size, iters=iters)
-        out = _latency_demo(platform=platform, size=size, iters=iters)
+        out = _latency_demo(platform=platform, size=size, iters=iters,
+                            profiler=profiler)
     else:
         params.update(nodes=nodes, steps=steps)
-        out = _powerllel_demo(platform=platform, nodes=nodes, steps=steps, seed=seed)
+        out = _powerllel_demo(platform=platform, nodes=nodes, steps=steps,
+                              seed=seed, profiler=profiler)
     out["name"] = f"trace_{demo}"
     out["params"] = params
     return out
@@ -71,6 +78,7 @@ def _stream_demo(
     seed: int,
     faults: Optional[str],
     fault_seed: Optional[int],
+    profiler: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Producer→consumer stream over a recorded RMA plan, 2 nodes."""
     plat = get_platform(platform)
@@ -81,6 +89,8 @@ def _stream_demo(
         spec = FaultSpec.parse(faults, seed=fault_seed)
         FaultInjector.attach(job.cluster, spec)
     recorder = Recorder.attach(job.cluster)
+    if profiler is not None:
+        profiler.attach(job.cluster, profiler)
     unr = Unr(job, plat.channel, observe=recorder, reliability=bool(faults))
     received = {"count": 0, "correct": 0}
 
@@ -126,12 +136,15 @@ def _stream_demo(
     }
 
 
-def _latency_demo(*, platform: str, size: int, iters: int) -> Dict[str, Any]:
+def _latency_demo(
+    *, platform: str, size: int, iters: int,
+    profiler: Optional[Any] = None,
+) -> Dict[str, Any]:
     """The Figure 4 UNR ping-pong, observed."""
     from .latency import unr_pingpong
 
     out: Dict[str, Any] = {}
-    half_rtt = unr_pingpong(platform, size, iters, out=out)
+    half_rtt = unr_pingpong(platform, size, iters, out=out, profiler=profiler)
     return {
         "recorder": out["recorder"],
         "result": {"half_rtt_us": half_rtt * 1e6, "size": size, "iters": iters},
@@ -139,7 +152,8 @@ def _latency_demo(*, platform: str, size: int, iters: int) -> Dict[str, Any]:
 
 
 def _powerllel_demo(
-    *, platform: str, nodes: int, steps: int, seed: int
+    *, platform: str, nodes: int, steps: int, seed: int,
+    profiler: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """A small PowerLLEL grid on the UNR backend, observed."""
     from .powerllel_bench import powerllel_point
@@ -148,6 +162,7 @@ def _powerllel_demo(
         platform,
         nodes=nodes, py=2, pz=2, nx=64, ny=64, nz=64,
         backend="unr", steps=steps, seed=seed, observe=True,
+        profiler=profiler,
     )
     recorder = res.pop("recorder")
     return {"recorder": recorder, "result": res}

@@ -14,6 +14,8 @@
     python -m repro trace stream                # observed demo + Perfetto JSON
     python -m repro engine-bench                # unified-engine datapath cost
     python -m repro fingerprints                # golden wire-fingerprint diff
+    python -m repro profile latency             # unrprof host-time attribution
+    python -m repro bench-report --history ...  # cross-run bench trend table
     python -m repro lint src/repro              # unrlint determinism rules
     python -m repro check                       # UnrSanitizer runtime checks
     python -m repro verify                      # unrverify HB + protocol pass
@@ -22,8 +24,9 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 __all__ = ["main", "build_parser"]
 
@@ -45,6 +48,45 @@ def _fault_spec(text: str) -> str:
     return text
 
 
+def _share_spec(text: str) -> "tuple":
+    """``LAYER=FRACTION`` (e.g. ``obs=0.15``) for --max-share."""
+    layer, sep, frac = text.partition("=")
+    if not sep or not layer:
+        raise argparse.ArgumentTypeError(
+            f"bad share spec {text!r} (expected LAYER=FRACTION)"
+        )
+    try:
+        value = float(frac)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad fraction in {text!r}") from None
+    if not (0.0 < value <= 1.0):
+        raise argparse.ArgumentTypeError(f"fraction in {text!r} must be in (0, 1]")
+    return (layer, value)
+
+
+def _artifact_path(output: Optional[str], default_name: str,
+                   explicit: Optional[str] = None) -> str:
+    """Uniform ``--output`` resolution for bench/trace artifacts.
+
+    ``explicit`` (a legacy per-artifact flag like ``--perfetto PATH``)
+    wins outright.  Otherwise: no ``--output`` keeps the historical
+    cwd-relative default; an ``--output`` ending in ``.json`` is the
+    exact file; anything else is treated as a directory (created if
+    missing) that receives the default-named artifact.
+    """
+    if explicit is not None:
+        return explicit
+    if output is None:
+        return default_name
+    if output.endswith(".json"):
+        parent = os.path.dirname(output)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        return output
+    os.makedirs(output, exist_ok=True)
+    return os.path.join(output, default_name)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -64,6 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "and export its Perfetto trace")
     p.add_argument("--perfetto", default="trace_latency.json", metavar="PATH",
                    help="Perfetto output path for --trace")
+    p.add_argument("--profile", action="store_true",
+                   help="arm the unrprof host-time profiler on the UNR runs "
+                        "and print the attribution report")
 
     p = sub.add_parser("multinic", help="Figure 5: multi-NIC aggregation sweeps")
     p.add_argument("--platform", default="th-xy")
@@ -87,6 +132,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="observe the run and export its Perfetto trace")
     p.add_argument("--perfetto", default="trace_powerllel.json", metavar="PATH",
                    help="Perfetto output path for --trace")
+    p.add_argument("--profile", action="store_true",
+                   help="arm the unrprof host-time profiler and print the "
+                        "attribution report")
 
     p = sub.add_parser(
         "faults",
@@ -152,12 +200,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault schedule for the stream demo "
                         "(arms the UNR reliability layer)")
     p.add_argument("--fault-seed", type=int, default=None)
-    p.add_argument("--perfetto", default="trace_obs.json", metavar="PATH",
-                   help="Perfetto trace_event JSON output (load at ui.perfetto.dev)")
-    p.add_argument("--bench", default="BENCH_obs.json", metavar="PATH",
-                   help="machine-readable bench record output")
+    p.add_argument("--perfetto", default=None, metavar="PATH",
+                   help="explicit Perfetto trace_event JSON output path "
+                        "(default: trace_obs.json, or under --output)")
+    p.add_argument("--bench", default=None, metavar="PATH",
+                   help="explicit bench record output path "
+                        "(default: BENCH_obs.json, or under --output)")
+    p.add_argument("--output", default=None, metavar="DIR",
+                   help="directory receiving the default-named artifacts "
+                        "(created if missing; the uniform --output "
+                        "convention shared with lint/verify/profile)")
     p.add_argument("--no-bench", action="store_true",
                    help="skip writing the bench record")
+    p.add_argument("--profile", action="store_true",
+                   help="arm the unrprof host-time profiler, print its "
+                        "attribution report, and merge its counter tracks "
+                        "into the Perfetto export")
     p.add_argument("--limit", type=int, default=30,
                    help="max rows in the printed timeline")
 
@@ -183,6 +241,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "this metric is set by the platform's modelled "
                         "latency/bandwidth, so the floor catches datapath "
                         "changes that add simulated time per op)")
+    p.add_argument("--profile", action="store_true",
+                   help="arm the unrprof host-time profiler across both "
+                        "datapath runs and print the attribution report")
 
     p = sub.add_parser(
         "fingerprints",
@@ -198,8 +259,66 @@ def build_parser() -> argparse.ArgumentParser:
                         "instead of diffing against it")
 
     p = sub.add_parser(
+        "profile",
+        help="unrprof: host-time self-profile of a bench workload — "
+             "per-event-kind/per-layer attribution, engine dispatch "
+             "timing, flamegraph stacks -> BENCH_profile.json",
+    )
+    p.add_argument("workload", nargs="?", default="latency",
+                   choices=["latency", "stream", "powerllel", "engine"])
+    p.add_argument("--platform", default="th-xy")
+    p.add_argument("--size", type=int, default=4096)
+    p.add_argument("--iters", type=int, default=40)
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument("--sample-every", type=int, default=0, metavar="N",
+                   help="collapsed-stack sampling period (0 = exact per-kind "
+                        "totals only)")
+    p.add_argument("--top", type=int, default=14,
+                   help="rows in the printed top-kinds table")
+    p.add_argument("--flame", default=None, metavar="PATH",
+                   help="write collapsed stacks (flamegraph.pl input) to PATH")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="BENCH_profile.json destination: a .json file, or a "
+                        "directory for the default-named artifact "
+                        "(default: BENCH_profile.json in the cwd)")
+    p.add_argument("--overhead-repeats", type=int, default=0, metavar="N",
+                   help="also measure profiler overhead on the engine "
+                        "micro-benchmark: N interleaved observed/profiled "
+                        "pairs, gated on the best-of-N wall-time ratio")
+    p.add_argument("--max-overhead-pct", type=float, default=None, metavar="PCT",
+                   help="fail (exit 1) when measured profiler overhead "
+                        "exceeds PCT percent (implies --overhead-repeats 3)")
+
+    p = sub.add_parser(
+        "bench-report",
+        help="cross-run bench trend report: ingest BENCH_*.json artifacts "
+             "(engine, obs, resilience, profile), render a trend table "
+             "keyed by git SHA + platform, gate on regression thresholds",
+    )
+    p.add_argument("files", nargs="+", metavar="BENCH.json",
+                   help="bench artifacts, oldest first (prior runs, then "
+                        "the current one)")
+    p.add_argument("--history", action="store_true",
+                   help="trend every run with deltas vs its predecessor "
+                        "(default: show only the latest run per series)")
+    p.add_argument("--format", default="text", choices=("text", "md"),
+                   help="table format (md for CI job summaries)")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="write the report to PATH instead of stdout")
+    p.add_argument("--max-events-per-put", type=float, default=None, metavar="N",
+                   help="fail when the latest engine run exceeds N events/put")
+    p.add_argument("--min-ops-per-sim-sec", type=float, default=None, metavar="N",
+                   help="fail when the latest engine run's PUT throughput "
+                        "drops below N ops/simulated-second")
+    p.add_argument("--max-share", action="append", type=_share_spec,
+                   default=None, metavar="LAYER=FRAC",
+                   help="fail when the latest profile run spends more than "
+                        "FRAC of host self-time in LAYER (repeatable, e.g. "
+                        "obs=0.15)")
+
+    p = sub.add_parser(
         "lint",
-        help="unrlint: static determinism rules UNR001-UNR009 over Python sources",
+        help="unrlint: static determinism rules UNR001-UNR012 over Python sources",
     )
     p.add_argument("paths", nargs="*", default=["src/repro"],
                    help="files or directories to lint (default: src/repro)")
@@ -288,6 +407,11 @@ def cmd_tables(args) -> int:
 def cmd_latency(args) -> int:
     from .bench import format_size, format_table, latency_table
 
+    prof = None
+    if args.profile:
+        from .obs import HostProfiler
+
+        prof = HostProfiler()
     table = latency_table(args.platform, args.sizes, args.iters)
     rows = [
         [format_size(s)]
@@ -296,20 +420,30 @@ def cmd_latency(args) -> int:
     ]
     print(f"Figure 4 ({args.platform}): half round-trip latency (us)")
     print(format_table(["size", "UNR", "fence", "PSCW", "lock"], rows))
-    if args.trace:
+    if args.trace or prof is not None:
         from .bench import unr_pingpong
-        from .obs import write_perfetto
 
         out = {}
         size = args.sizes[-1]
-        unr_pingpong(args.platform, size, args.iters, out=out)
+        if prof is not None:
+            with prof.window():
+                unr_pingpong(args.platform, size, args.iters, out=out,
+                             profiler=prof)
+        else:
+            unr_pingpong(args.platform, size, args.iters, out=out)
         rec = out["recorder"]
         snap = rec.snapshot()
-        write_perfetto(rec, args.perfetto)
-        print(f"trace: {format_size(size)} ping-pong — "
-              f"{snap['n_transfers']} transfers, {snap['n_spans']} spans, "
-              f"{int(snap['counters']['sim.events'])} sim events "
-              f"-> {args.perfetto}")
+        if args.trace:
+            from .obs import write_perfetto
+
+            write_perfetto(rec, args.perfetto, prof)
+            print(f"trace: {format_size(size)} ping-pong — "
+                  f"{snap['n_transfers']} transfers, {snap['n_spans']} spans, "
+                  f"{int(snap['counters']['sim.events'])} sim events "
+                  f"-> {args.perfetto}")
+    if prof is not None:
+        print()
+        print(prof.report())
     return 0
 
 
@@ -329,14 +463,24 @@ def cmd_multinic(args) -> int:
 def cmd_powerllel(args) -> int:
     from .bench import powerllel_point
 
-    nx, ny, nz = args.grid
-    res = powerllel_point(
-        args.platform, backend=args.backend, fallback=args.fallback,
+    prof = None
+    if args.profile:
+        from .obs import HostProfiler
+
+        prof = HostProfiler()
+    kwargs = dict(
+        backend=args.backend, fallback=args.fallback,
         nodes=args.nodes, py=args.py, pz=args.pz,
-        nx=nx, ny=ny, nz=nz, steps=args.steps,
+        steps=args.steps,
         faults=args.faults, fault_seed=args.fault_seed,
-        observe=args.trace,
+        observe=args.trace, profiler=prof,
     )
+    nx, ny, nz = args.grid
+    if prof is not None:
+        with prof.window():
+            res = powerllel_point(args.platform, nx=nx, ny=ny, nz=nz, **kwargs)
+    else:
+        res = powerllel_point(args.platform, nx=nx, ny=ny, nz=nz, **kwargs)
     p = res["phases"]
     print(f"PowerLLEL [{args.backend}{'+fallback' if args.fallback else ''}"
           f"{'+faults' if args.faults else ''}] "
@@ -349,10 +493,13 @@ def cmd_powerllel(args) -> int:
 
         rec = res["recorder"]
         snap = rec.snapshot()
-        write_perfetto(rec, args.perfetto)
+        write_perfetto(rec, args.perfetto, prof)
         print(f"  trace {snap['n_transfers']} transfers, {snap['n_spans']} spans, "
               f"{int(snap['counters']['sim.events'])} sim events "
               f"-> {args.perfetto}")
+    if prof is not None:
+        print()
+        print(prof.report())
     return 0
 
 
@@ -454,10 +601,30 @@ def cmd_trace(args) -> int:
         write_perfetto,
     )
 
-    out = trace_demo(
-        args.demo, platform=args.platform, size=args.size, iters=args.iters,
-        seed=args.seed, faults=args.faults, fault_seed=args.fault_seed,
-    )
+    if args.output is not None and args.output.endswith(".json"):
+        print("trace: --output names the artifact *directory* "
+              "(use --perfetto/--bench for explicit file paths)",
+              file=sys.stderr)
+        return 2
+    perfetto_path = _artifact_path(args.output, "trace_obs.json", args.perfetto)
+    bench_path = _artifact_path(args.output, "BENCH_obs.json", args.bench)
+    prof = None
+    if args.profile:
+        from .obs import HostProfiler
+
+        prof = HostProfiler()
+    if prof is not None:
+        with prof.window():
+            out = trace_demo(
+                args.demo, platform=args.platform, size=args.size,
+                iters=args.iters, seed=args.seed, faults=args.faults,
+                fault_seed=args.fault_seed, profiler=prof,
+            )
+    else:
+        out = trace_demo(
+            args.demo, platform=args.platform, size=args.size, iters=args.iters,
+            seed=args.seed, faults=args.faults, fault_seed=args.fault_seed,
+        )
     rec = out["recorder"]
     snap = rec.snapshot()
     print(f"Trace demo '{args.demo}' on {args.platform}: "
@@ -488,13 +655,17 @@ def cmd_trace(args) -> int:
         chain = " > ".join(f"{s.name}({s.duration * 1e6:.2f}us)" for s in path)
         print(f"  {track}: {chain}")
 
-    write_perfetto(rec, args.perfetto)
+    if prof is not None:
+        print()
+        print(prof.report())
+
+    write_perfetto(rec, perfetto_path, prof)
     try:
-        validate_trace_file(args.perfetto)
+        validate_trace_file(perfetto_path)
     except ValueError as exc:
-        print(f"\nperfetto: {args.perfetto} FAILED schema validation: {exc}")
+        print(f"\nperfetto: {perfetto_path} FAILED schema validation: {exc}")
         return 1
-    print(f"\nperfetto: {args.perfetto} (load at https://ui.perfetto.dev)")
+    print(f"\nperfetto: {perfetto_path} (load at https://ui.perfetto.dev)")
 
     if not args.no_bench:
         record = bench_record(
@@ -504,8 +675,8 @@ def cmd_trace(args) -> int:
         if errors:
             print(f"bench: record FAILED validation: {'; '.join(errors)}")
             return 1
-        write_bench(record, args.bench)
-        print(f"bench: {args.bench} "
+        write_bench(record, bench_path)
+        print(f"bench: {bench_path} "
               f"(fingerprint {record['transfer_fingerprint'][:16]}…)")
     return 0
 
@@ -538,9 +709,24 @@ def cmd_scaling(args) -> int:
 def cmd_engine_bench(args) -> int:
     from .bench import engine_bench, validate_engine_bench, write_engine_bench
 
-    record = engine_bench(
-        args.platform, size=args.size, iters=args.iters, seed=args.seed,
-    )
+    prof = None
+    if args.profile:
+        from .obs import HostProfiler
+
+        prof = HostProfiler()
+    if prof is not None:
+        with prof.window():
+            record = engine_bench(
+                args.platform, size=args.size, iters=args.iters,
+                seed=args.seed, profiler=prof,
+            )
+    else:
+        record = engine_bench(
+            args.platform, size=args.size, iters=args.iters, seed=args.seed,
+        )
+    if prof is not None:
+        print(prof.report())
+        print()
     errors = validate_engine_bench(record)
     if errors:
         print(f"engine-bench: record FAILED validation: {'; '.join(errors)}")
@@ -593,6 +779,115 @@ def cmd_fingerprints(args) -> int:
         return 1
     print(f"fingerprints: {len(entries)} entries match {path}")
     return 0
+
+
+def cmd_profile(args) -> int:
+    from .bench import (
+        profile_bench,
+        validate_profile_bench,
+        write_profile_bench,
+    )
+    from .obs import HostProfiler
+
+    overhead_repeats = args.overhead_repeats
+    if args.max_overhead_pct is not None and overhead_repeats <= 0:
+        overhead_repeats = 3
+    prof = HostProfiler(sample_every=args.sample_every)
+    record = profile_bench(
+        args.workload, args.platform,
+        size=args.size, iters=args.iters, seed=args.seed,
+        sample_every=args.sample_every,
+        overhead_repeats=overhead_repeats, profiler=prof,
+    )
+    errors = validate_profile_bench(record)
+    if errors:
+        print(f"profile: record FAILED validation: {'; '.join(errors)}")
+        return 1
+    print(f"unrprof '{args.workload}' on {args.platform} "
+          f"(size {args.size}, iters {args.iters}):")
+    print(prof.report(top=args.top))
+    sim = record.get("sim")
+    if sim and sim.get("histograms"):
+        print("  sim latency percentiles (us):")
+        for name in sorted(sim["histograms"]):
+            h = sim["histograms"][name]
+            print(f"    {name:28s} n={h['count']:<5d} p50={h['p50']:.2f} "
+                  f"p95={h['p95']:.2f} p99={h['p99']:.2f}")
+    out_path = _artifact_path(args.output, "BENCH_profile.json")
+    write_profile_bench(record, out_path)
+    print(f"  -> {out_path} (coverage {record['coverage']:.1%})")
+    if args.flame:
+        prof.write_collapsed(args.flame)
+        print(f"  -> {args.flame} (collapsed stacks; feed to flamegraph.pl)")
+    overhead = record.get("overhead")
+    if overhead is not None:
+        pct = (overhead["ratio"] - 1.0) * 100.0
+        print(f"  overhead: observed {overhead['observed_ms']:.2f} ms vs "
+              f"profiled {overhead['profiled_ms']:.2f} ms "
+              f"({pct:+.1f}%, best of {overhead['repeats']} pairs)")
+        if args.max_overhead_pct is not None and pct > args.max_overhead_pct:
+            print(f"  verdict FAILED: profiler overhead {pct:.1f}% > "
+                  f"{args.max_overhead_pct}%")
+            return 1
+    return 0
+
+
+def cmd_bench_report(args) -> int:
+    import json as _json
+
+    from .bench import history_report, load_runs, render_trend
+
+    max_share: Optional[Dict[str, float]] = None
+    if args.max_share:
+        max_share = dict(args.max_share)
+    try:
+        return _bench_report(args, max_share, history_report, load_runs,
+                             render_trend)
+    except OSError as exc:
+        print(f"bench-report: cannot read artifact: {exc}", file=sys.stderr)
+        return 2
+    except _json.JSONDecodeError as exc:
+        print(f"bench-report: malformed JSON artifact: {exc}", file=sys.stderr)
+        return 2
+
+
+def _bench_report(args, max_share, history_report, load_runs,
+                  render_trend) -> int:
+    if args.history:
+        report, failures = history_report(
+            args.files, fmt=args.format,
+            max_events_per_put=args.max_events_per_put,
+            min_ops_per_sim_sec=args.min_ops_per_sim_sec,
+            max_share=max_share,
+        )
+    else:
+        # Latest run per series only — the single-artifact summary view.
+        from .bench import check_thresholds
+
+        runs = load_runs(args.files)
+        latest: Dict[tuple, dict] = {}
+        for run in runs:
+            latest[(run["series"], run["name"], run["platform"])] = run
+        kept = [run for run in runs if latest[
+            (run["series"], run["name"], run["platform"])] is run]
+        failures = check_thresholds(
+            kept,
+            max_events_per_put=args.max_events_per_put,
+            min_ops_per_sim_sec=args.min_ops_per_sim_sec,
+            max_share=max_share,
+        )
+        report = render_trend(kept, fmt=args.format)
+        if failures:
+            report += "\n\nregression gates FAILED:\n" + "\n".join(
+                f"  - {f}" for f in failures
+            )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"bench-report: wrote {args.output}")
+    else:
+        print(report)
+    return 1 if failures else 0
 
 
 def _emit_findings(findings, fmt: str, output: Optional[str], tool: str) -> None:
@@ -741,6 +1036,8 @@ _COMMANDS = {
     "trace": cmd_trace,
     "engine-bench": cmd_engine_bench,
     "fingerprints": cmd_fingerprints,
+    "profile": cmd_profile,
+    "bench-report": cmd_bench_report,
     "fig6": cmd_fig6,
     "scaling": cmd_scaling,
     "lint": cmd_lint,

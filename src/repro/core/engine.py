@@ -1300,7 +1300,15 @@ class ProgressEngine:
             self._last_handler = self._handlers.get(kind, self.default_handler)
         handler = self._last_handler
         if handler is not None:
-            handler(self.node.index, record)
+            # Read through env each dispatch (not cached at construction)
+            # so profilers attached after engine creation are still seen.
+            prof = self.env.profile
+            if prof is not None:
+                t0 = prof.dispatch_begin()
+                handler(self.node.index, record)
+                prof.dispatch_end(kind, t0)
+            else:
+                handler(self.node.index, record)
         if self.health is not None:
             self.health.on_cq_record(nic.index, record)
         # Slab-allocated records go back to the free list the moment

@@ -11,6 +11,11 @@ variable, ``Recorder.attach(cluster)``, or the ``repro trace`` CLI.
 Export with :func:`write_perfetto` (Chrome/Perfetto ``trace_event``
 JSON), :func:`text_timeline`, or :func:`bench_record` /
 :func:`write_bench` (``BENCH_obs.json``).  See ``docs/observability.md``.
+
+Host-time profiling lives in :mod:`repro.obs.profile` (``unrprof``):
+:class:`HostProfiler` is the repo's one sanctioned wall-clock consumer
+(unrlint UNR012) and attributes host CPU time per event kind and layer
+without perturbing the schedule.  See ``docs/profiling.md``.
 """
 
 from .export import (
@@ -25,11 +30,14 @@ from .export import (
     write_bench,
     write_perfetto,
 )
+from .profile import HostProfiler, host_clock_ns
 from .recorder import Histogram, InstantEvent, OpRecord, ProtoEvent, Recorder
 from .spans import Span, SpanHandle, SpanLog
 
 __all__ = [
     "Recorder",
+    "HostProfiler",
+    "host_clock_ns",
     "Histogram",
     "InstantEvent",
     "OpRecord",

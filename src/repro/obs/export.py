@@ -52,7 +52,9 @@ def _us(t: float) -> float:
     return round(t * 1e6, 3)
 
 
-def _track_ids(recorder: "Recorder") -> Dict[str, int]:
+def _track_ids(
+    recorder: "Recorder", profiler: Optional[Any] = None
+) -> Dict[str, int]:
     """Deterministic track → tid assignment (sorted names, tids from 1)."""
     names: Dict[str, bool] = {}
     for span in recorder.spans.spans:
@@ -61,12 +63,23 @@ def _track_ids(recorder: "Recorder") -> Dict[str, int]:
         names[evt.track] = True
     for rec in recorder.transfers:
         names[f"net.n{rec.src_node}.r{rec.src_rail}"] = True
+    if profiler is not None:
+        for track in profiler.counter_tracks():
+            names[track] = True
     return {name: tid for tid, name in enumerate(sorted(names), start=1)}
 
 
-def to_trace_events(recorder: "Recorder") -> List[Dict[str, Any]]:
-    """The recorder's contents as Chrome ``trace_event`` dicts."""
-    tids = _track_ids(recorder)
+def to_trace_events(
+    recorder: "Recorder", profiler: Optional[Any] = None
+) -> List[Dict[str, Any]]:
+    """The recorder's contents as Chrome ``trace_event`` dicts.
+
+    ``profiler`` (a :class:`repro.obs.profile.HostProfiler`) merges its
+    per-layer host-time counter tracks (``"C"`` events keyed by the
+    *simulated* timestamp of each sample) into the same pid, after the
+    recorder's own tracks in tid order.
+    """
+    tids = _track_ids(recorder, profiler)
     events: List[Dict[str, Any]] = [
         {
             "ph": "M", "name": "process_name", "pid": _PID, "tid": 0,
@@ -121,23 +134,32 @@ def to_trace_events(recorder: "Recorder") -> List[Dict[str, Any]]:
                 "ts": _us(evt.t), "args": dict(evt.args),
             }
         )
+    if profiler is not None:
+        body.extend(profiler.trace_events(tids))
     body.sort(key=lambda ev: (ev["ts"], ev["tid"]))
     return events + body
 
 
-def perfetto_json(recorder: "Recorder") -> str:
-    """Byte-stable Perfetto JSON (sorted keys, fixed separators)."""
+def perfetto_json(recorder: "Recorder", profiler: Optional[Any] = None) -> str:
+    """Byte-stable Perfetto JSON (sorted keys, fixed separators).
+
+    With ``profiler`` the document additionally carries unrprof's
+    counter tracks; the recorder-derived events stay byte-identical
+    (host-time values live only on the profiler's own tracks).
+    """
     doc = {
-        "traceEvents": to_trace_events(recorder),
+        "traceEvents": to_trace_events(recorder, profiler),
         "displayTimeUnit": "ms",
         "otherData": {"snapshot": recorder.snapshot()},
     }
     return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
 
 
-def write_perfetto(recorder: "Recorder", path: str) -> str:
+def write_perfetto(
+    recorder: "Recorder", path: str, profiler: Optional[Any] = None
+) -> str:
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(perfetto_json(recorder))
+        fh.write(perfetto_json(recorder, profiler))
     return path
 
 

@@ -41,28 +41,54 @@ __all__ = ["Histogram", "InstantEvent", "OpRecord", "ProtoEvent", "Recorder"]
 
 @dataclass
 class Histogram:
-    """Streaming aggregate of one observed quantity (count/sum/min/max)."""
+    """Aggregate of one observed quantity, with exact percentiles.
+
+    Values are retained (simulation runs are bounded, and exact
+    quantiles beat approximate sketches for regression gating), so
+    :meth:`stats` can report true nearest-rank p50/p95/p99.  The
+    streaming min/max/total are still maintained incrementally to keep
+    :meth:`add` a few plain statements on the hot path.
+    """
 
     count: int = 0
     total: float = 0.0
     vmin: Optional[float] = None
     vmax: Optional[float] = None
+    values: List[float] = field(default_factory=list)
 
     def add(self, value: float) -> None:
         self.count += 1
         self.total += value
+        self.values.append(value)
         if self.vmin is None or value < self.vmin:
             self.vmin = value
         if self.vmax is None or value > self.vmax:
             self.vmax = value
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Exact nearest-rank percentile (``q`` in [0, 100])."""
+        if not self.values:
+            return None
+        ordered = sorted(self.values)
+        rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
     def stats(self) -> Dict[str, Any]:
+        if self.values:
+            ordered = sorted(self.values)
+            n = len(ordered)
+            ranks = {q: ordered[max(1, -(-n * q // 100)) - 1] for q in (50, 95, 99)}
+        else:
+            ranks = {50: None, 95: None, 99: None}
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.vmin,
             "max": self.vmax,
             "mean": (self.total / self.count) if self.count else None,
+            "p50": ranks[50],
+            "p95": ranks[95],
+            "p99": ranks[99],
         }
 
 

@@ -445,7 +445,7 @@ class AnyOf(Condition):
 class Environment:
     """The simulation environment: clock plus event heap."""
 
-    __slots__ = ("_now", "_heap", "_seq", "_active", "obs")
+    __slots__ = ("_now", "_heap", "_seq", "_active", "obs", "profile")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -456,6 +456,11 @@ class Environment:
         #: ``Recorder.attach``.  Purely passive: it only counts
         #: dispatched events and tracks heap depth, never schedules.
         self.obs: Optional[Any] = None
+        #: Optional :class:`repro.obs.HostProfiler` hook, set by
+        #: ``HostProfiler.attach``.  The one sanctioned wall-clock
+        #: consumer: it reads the host clock per dispatched event but
+        #: never schedules, so profiled runs stay wire-identical.
+        self.profile: Optional[Any] = None
 
     # -- clock ------------------------------------------------------------
     @property
@@ -512,6 +517,9 @@ class Environment:
         obs = self.obs
         if obs is not None:
             obs.on_sim_step(len(self._heap))
+        prof = self.profile
+        if prof is not None:
+            prof.on_event(event)
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None

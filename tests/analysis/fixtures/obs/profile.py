@@ -1,0 +1,24 @@
+"""Fixture: the sanctioned wall-clock user — clean under UNR012.
+
+A path ending ``obs/profile.py`` matches
+:attr:`repro.analysis.unrlint.LintConfig.wallclock_allowed_suffixes`,
+so host-clock reads here raise neither UNR006 (this file *is* under
+the ``obs`` scope) nor UNR012.  Mirrors the shape of the real
+:mod:`repro.obs.profile`.
+"""
+
+import time
+from datetime import datetime
+
+_clock_ns = time.perf_counter_ns
+
+
+def host_clock_ns():
+    return _clock_ns()
+
+
+def run_meta():
+    return {
+        "unix_time": int(time.time()),
+        "started": datetime.now().isoformat(),
+    }

@@ -1,13 +1,25 @@
-"""Fixture: wall-clock reads OUTSIDE the deterministic scopes — clean.
+"""Fixture: wall-clock reads OUTSIDE the UNR002/UNR006 scopes — UNR012.
 
-UNR002 only applies under sim/, netsim/ and core/ path components;
-benchmark harness code may legitimately time itself.
+This file lives under no deterministic scope and not under ``obs/``,
+which used to make it clean.  UNR012 tightened the wall-clock rule
+repo-wide: every host-clock read outside ``obs/profile.py`` (the
+unrprof host-time profiler) is flagged, benchmark harness code
+included — self-timing routes through
+``repro.obs.profile.host_clock_ns`` instead.
 """
 
 import time
+from datetime import datetime
 
 
 def wall_elapsed(fn):
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # UNR012
     fn()
-    return time.perf_counter() - t0
+    return time.perf_counter() - t0  # UNR012
+
+
+def stamp_run():
+    return {
+        "unix": time.time_ns(),  # UNR012
+        "when": datetime.now().isoformat(),  # UNR012
+    }

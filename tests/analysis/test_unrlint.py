@@ -101,6 +101,28 @@ def test_unr011_flags_unguarded_reuse():
     assert len(findings) == 3
 
 
+def test_unr012_flags_wallclock_everywhere_else():
+    # The repo-wide tightening: the same source that UNR002/UNR006
+    # ignore (no deterministic scope, not under obs/) is now flagged.
+    findings = lint_fixture("wallclock_out_of_scope.py")
+    assert rules_of(findings) == ["UNR012"]
+    assert len(findings) == 4  # perf_counter x2, time_ns, datetime.now
+    assert all("obs/profile.py" in f.message for f in findings)
+
+
+def test_unr012_scope_partition_is_exhaustive():
+    # One wall-clock read, three locations, three rule ids: the
+    # UNR002/UNR006/UNR012 partition covers every path in the repo.
+    src = "import time\nt = time.perf_counter()\n"
+    for path, expected in [
+        ("src/repro/sim/core2.py", "UNR002"),
+        ("src/repro/obs/export2.py", "UNR006"),
+        ("src/repro/bench/latency.py", "UNR012"),
+    ]:
+        assert rules_of(lint_source(src, path=path)) == [expected], path
+    assert lint_source(src, path="src/repro/obs/profile.py") == []
+
+
 def test_protocol_pass_is_scope_gated():
     # The same source outside a workload scope stays quiet unless the
     # config forces the protocol pass on.
@@ -119,7 +141,7 @@ def test_protocol_pass_is_scope_gated():
     [
         "ok_unr001.py",
         "core/ok_unr002.py",
-        "wallclock_out_of_scope.py",
+        "obs/profile.py",  # the one sanctioned wall-clock user (UNR012)
         "ok_unr003.py",
         "sim/core.py",  # heapq allowed in the kernel path
         "ok_unr005.py",

@@ -1,0 +1,125 @@
+"""bench-report trend tests: normalization of every known schema, delta
+rendering across runs, and the regression gates the CI job relies on."""
+
+import json
+
+import pytest
+
+from repro.bench import check_thresholds, history_report, load_runs, render_trend
+
+
+def _engine(sha, events_per_put, ops=300_000.0):
+    return {
+        "schema": "repro.bench.engine/1",
+        "name": "engine_bench",
+        "platform": "th-xy",
+        "run": {"git_sha": sha},
+        "sim_events_per_put": events_per_put,
+        "paths": {"put": {"ops_per_sim_sec": ops}},
+    }
+
+
+def _profile(sha, shares):
+    layers = {
+        layer: {"count": 10, "total_ns": ns, "self_ns": ns, "max_ns": ns,
+                "layer": layer}
+        for layer, ns in shares.items()
+    }
+    return {
+        "schema": "repro.bench.profile/1",
+        "name": "profile_latency",
+        "platform": "th-xy",
+        "run": {"git_sha": sha},
+        "wall_ms": 12.5,
+        "coverage": 0.98,
+        "n_events": 1000,
+        "layers": layers,
+        "overhead": {"ratio": 1.04},
+    }
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    def write(name, record):
+        path = tmp_path / name
+        path.write_text(json.dumps(record))
+        return str(path)
+
+    return write
+
+
+def test_load_runs_normalizes_known_schemas(artifacts):
+    paths = [
+        artifacts("engine.json", _engine("aaaaaaa", 10.0)),
+        artifacts("profile.json", _profile("aaaaaaa", {"sim": 600, "obs": 400})),
+    ]
+    runs = load_runs(paths)
+    assert [r["series"] for r in runs] == ["engine", "profile"]
+    assert runs[0]["git_sha"] == "aaaaaaa"
+    assert runs[0]["metrics"]["events_per_put"] == 10.0
+    assert runs[1]["metrics"]["share.obs"] == pytest.approx(0.4)
+    assert runs[1]["metrics"]["overhead_ratio"] == pytest.approx(1.04)
+
+
+def test_render_trend_carries_delta_between_runs(artifacts):
+    paths = [
+        artifacts("a.json", _engine("aaaaaaa", 10.0)),
+        artifacts("b.json", _engine("bbbbbbb", 25.0)),
+    ]
+    text = render_trend(load_runs(paths))
+    assert "events_per_put" in text
+    assert "+150.0%" in text
+    md = render_trend(load_runs(paths), fmt="md")
+    assert md.startswith("| series |")
+    assert "+150.0%" in md
+
+
+def test_thresholds_gate_only_the_latest_run(artifacts):
+    # The older run is over the ceiling, the latest is fine: no failure.
+    runs = load_runs([
+        artifacts("a.json", _engine("aaaaaaa", 25.0)),
+        artifacts("b.json", _engine("bbbbbbb", 10.0)),
+    ])
+    assert check_thresholds(runs, max_events_per_put=12.0) == []
+    # Reversed order: the injected regression is latest and must fail.
+    runs = load_runs([
+        artifacts("c.json", _engine("aaaaaaa", 10.0)),
+        artifacts("d.json", _engine("bbbbbbb", 25.0)),
+    ])
+    failures = check_thresholds(runs, max_events_per_put=12.0)
+    assert len(failures) == 1
+    assert "events_per_put 25.00 exceeds ceiling 12.00" in failures[0]
+
+
+def test_thresholds_cover_throughput_floor_and_layer_share(artifacts):
+    runs = load_runs([
+        artifacts("e.json", _engine("aaaaaaa", 10.0, ops=100.0)),
+        artifacts("p.json", _profile("aaaaaaa", {"sim": 500, "obs": 500})),
+    ])
+    failures = check_thresholds(
+        runs, min_ops_per_sim_sec=1000.0, max_share={"obs": 0.15}
+    )
+    assert any("below" in f and "floor" in f for f in failures)
+    assert any("layer 'obs'" in f for f in failures)
+    assert check_thresholds(runs, max_share={"obs": 0.6}) == []
+
+
+def test_history_report_renders_and_fails_on_regression(artifacts):
+    paths = [
+        artifacts("a.json", _engine("aaaaaaa", 10.0)),
+        artifacts("b.json", _engine("bbbbbbb", 25.0)),
+    ]
+    text, failures = history_report(paths, max_events_per_put=12.0)
+    assert failures
+    assert "regression gates FAILED:" in text
+    text, failures = history_report(paths)
+    assert failures == []
+    assert "regression gates: OK" in text
+
+
+def test_history_report_surfaces_unknown_schemas(artifacts):
+    path = artifacts("weird.json", {"schema": "somebody.else/3"})
+    text, failures = history_report([path])
+    assert failures == []
+    assert "unrecognized schemas" in text
+    assert "weird.json" in text

@@ -59,6 +59,58 @@ def test_committed_bench_fixture_validates():
     validate_bench_file(str(FIXTURES / "BENCH_obs.json"))
 
 
+def test_golden_roundtrip_spans_instants_and_counters(tmp_path):
+    """Full wire-format roundtrip: a profiled demo run serialized to
+    disk, re-parsed, schema-validated, with every phase kind present
+    and its tracks resolvable back to names."""
+    from repro.obs import HostProfiler, write_perfetto
+
+    prof = HostProfiler(counter_every=8)
+    with prof.window():
+        out = trace_demo("stream", iters=3, size=4096, profiler=prof)
+    rec = out["recorder"]
+    rec.event("marker.golden", track="events")
+    path = write_perfetto(rec, str(tmp_path / "trace.json"), prof)
+    doc = json.loads(Path(path).read_text())
+    assert validate_trace(doc) == []
+    by_phase = {}
+    for ev in doc["traceEvents"]:
+        by_phase.setdefault(ev["ph"], []).append(ev)
+    # Spans, instants AND profiler counters survive the roundtrip.
+    assert by_phase["X"] and by_phase["i"] and by_phase["C"]
+    tid_names = {
+        ev["tid"]: ev["args"]["name"]
+        for ev in by_phase["M"] if ev["name"] == "thread_name"
+    }
+    for ev in by_phase["C"]:
+        assert tid_names[ev["tid"]].startswith("prof.host_ms.")
+    for ev in by_phase["X"] + by_phase["i"]:
+        assert ev["tid"] in tid_names
+    # The recorder-derived events are unchanged by the profiler merge
+    # (tids shift to make room for the counter tracks, so compare with
+    # each tid resolved back to its track name).
+    plain = json.loads(perfetto_json(rec))
+
+    def normalized(document):
+        names = {
+            ev["tid"]: ev["args"]["name"]
+            for ev in document["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        out = []
+        for ev in document["traceEvents"]:
+            if ev["ph"] == "C" or (
+                ev["ph"] == "M" and ev["args"]["name"].startswith("prof.")
+            ):
+                continue
+            body = {k: v for k, v in ev.items() if k != "tid"}
+            body["track"] = names.get(ev.get("tid"))
+            out.append(json.dumps(body, sort_keys=True))
+        return sorted(out)
+
+    assert normalized(plain) == normalized(doc)
+
+
 def test_text_timeline_merges_transfers_and_markers():
     rec = run_demo()
     rec.event("marker.test", track="events", detail=1)

@@ -28,6 +28,37 @@ def test_counters_gauges_histograms():
     assert (h["count"], h["min"], h["max"], h["mean"]) == (2, 2.0, 4.0, 3.0)
 
 
+def test_histogram_exact_nearest_rank_percentiles():
+    env = Environment()
+    rec = Recorder(env)
+    for v in range(1, 101):  # 1..100: percentiles are exact by inspection
+        rec.observe("h", float(v))
+    h = rec.snapshot()["histograms"]["h"]
+    assert (h["p50"], h["p95"], h["p99"]) == (50.0, 95.0, 99.0)
+    # Nearest-rank, not interpolated: small samples pick real values.
+    env2 = Environment()
+    rec2 = Recorder(env2)
+    for v in (10.0, 20.0, 30.0):
+        rec2.observe("h", v)
+    h2 = rec2.snapshot()["histograms"]["h"]
+    assert h2["p50"] == 20.0
+    assert h2["p95"] == h2["p99"] == 30.0
+    assert h2["p99"] in (10.0, 20.0, 30.0)
+
+
+def test_histogram_percentiles_empty_and_single():
+    env = Environment()
+    rec = Recorder(env)
+    rec.observe("once", 7.0)
+    snap = rec.snapshot()["histograms"]
+    assert snap["once"]["p50"] == snap["once"]["p99"] == 7.0
+    from repro.obs.recorder import Histogram
+
+    empty = Histogram()
+    assert empty.percentile(99) is None
+    assert empty.stats()["p50"] is None
+
+
 def test_span_nesting_and_critical_path():
     env = Environment()
     rec = Recorder(env)

@@ -158,6 +158,93 @@ def test_trace_writes_valid_artifacts(tmp_path, capsys):
     validate_bench_file(str(bench))
 
 
+def test_trace_output_directory_collects_artifacts(tmp_path, capsys):
+    """Satellite regression: ``--output DIR`` is the uniform artifact
+    destination — both files land inside it under their default names."""
+    outdir = tmp_path / "artifacts" / "run1"  # created on demand
+    assert main([
+        "trace", "stream", "--size", "4096", "--iters", "3",
+        "--output", str(outdir),
+    ]) == 0
+    capsys.readouterr()
+    from repro.obs import validate_bench_file, validate_trace_file
+
+    validate_trace_file(str(outdir / "trace_obs.json"))
+    validate_bench_file(str(outdir / "BENCH_obs.json"))
+    # Explicit per-artifact flags still win over --output.
+    explicit = tmp_path / "elsewhere.json"
+    assert main([
+        "trace", "stream", "--size", "4096", "--iters", "3",
+        "--output", str(outdir), "--perfetto", str(explicit),
+    ]) == 0
+    capsys.readouterr()
+    assert explicit.exists()
+
+
+def test_trace_output_rejects_file_path(tmp_path, capsys):
+    rc = main([
+        "trace", "stream", "--size", "4096", "--iters", "3",
+        "--output", str(tmp_path / "notadir.json"),
+    ])
+    assert rc == 2
+    assert "directory" in capsys.readouterr().err
+
+
+def test_profile_emits_valid_record_and_flame(tmp_path, capsys):
+    outdir = tmp_path / "prof"
+    flame = tmp_path / "flame.txt"
+    assert main([
+        "profile", "latency", "--size", "4096", "--iters", "5",
+        "--sample-every", "1", "--output", str(outdir), "--flame", str(flame),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "unrprof 'latency'" in out
+    assert "coverage" in out
+    assert "sim latency percentiles" in out and "p99=" in out
+
+    from repro.bench import validate_profile_bench_file
+
+    validate_profile_bench_file(str(outdir / "BENCH_profile.json"))
+    lines = flame.read_text().strip().splitlines()
+    assert lines and all(" " in line for line in lines)
+
+
+def test_latency_profile_flag_prints_attribution(capsys):
+    assert main([
+        "latency", "--platform", "th-xy", "--sizes", "4096",
+        "--iters", "3", "--profile",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "host profile:" in out
+    assert "netsim" in out
+
+
+def test_bench_report_history_gates_regression(tmp_path, capsys):
+    import json
+
+    def engine(sha, epp):
+        return {
+            "schema": "repro.bench.engine/1", "name": "engine_bench",
+            "platform": "th-xy", "run": {"git_sha": sha},
+            "sim_events_per_put": epp,
+            "paths": {"put": {"ops_per_sim_sec": 300000.0}},
+        }
+
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps(engine("aaaaaaa", 10.0)))
+    b.write_text(json.dumps(engine("bbbbbbb", 25.0)))
+    assert main(["bench-report", "--history", str(a), str(b)]) == 0
+    assert "+150.0%" in capsys.readouterr().out
+    rc = main(["bench-report", "--history", str(a), str(b),
+               "--max-events-per-put", "12"])
+    assert rc == 1
+    assert "regression gates FAILED" in capsys.readouterr().out
+    rc = main(["bench-report", str(tmp_path / "nonexistent.json")])
+    assert rc == 2
+    assert "cannot read artifact" in capsys.readouterr().err
+
+
 def test_check_reports_ok(capsys):
     assert main(["check", "--size", "4096", "--iters", "2"]) == 0
     out = capsys.readouterr().out
