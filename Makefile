@@ -8,6 +8,8 @@
 #   make demo-faults - the fault-injection acceptance demo
 #   make trace       - observed trace demo: Perfetto JSON + bench record
 #   make bench-engine - unified-engine datapath micro-benchmark (gated)
+#   make bench-scaling - host cost of the paper's full 1728-node
+#                      envelope: BENCH_scaling.json, budget gated
 #   make profile     - unrprof host-time profile: BENCH_profile.json +
 #                      flamegraph stacks, overhead gated at 10%
 #   make bench-report - trend table + regression gates over the
@@ -25,7 +27,7 @@ PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 REPRO   = PYTHONPATH=src $(PYTHON) -m repro
 
-.PHONY: test test-fast test-all test-slow test-chaos test-diff demo-faults trace bench-engine profile bench-report lint verify typecheck check
+.PHONY: test test-fast test-all test-slow test-chaos test-diff demo-faults trace bench-engine bench-scaling profile bench-report lint verify typecheck check
 
 test: test-fast
 
@@ -58,6 +60,13 @@ trace:
 bench-engine:
 	$(REPRO) engine-bench --out BENCH_engine.json \
 		--max-events-per-put 12 --min-ops-per-sim-sec 270000
+
+# The full Figure 7 ladder up to the 1728-node machine, with a fixed
+# small halo workload: flat wall/RSS curves prove the lazy netsim pays
+# O(active-set), not O(nodes).  Each point must finish inside 10 s —
+# generous vs the ~30 ms measured, so only O(nodes) regressions trip it.
+bench-scaling:
+	$(REPRO) scaling-bench --out BENCH_scaling.json --max-point-seconds 10
 
 # Host-time attribution of the latency workload (BENCH_profile.json +
 # collapsed stacks), then the profiler-tax gate on the engine

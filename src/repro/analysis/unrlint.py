@@ -16,8 +16,9 @@ UNR002  wall-clock sources (``time.time``, ``datetime.now``, …) inside
         the deterministic scopes (``sim``, ``netsim``, ``core``)
 UNR003  iteration over ``set()`` / dict views that feeds ``schedule()``
         or ``heappush()`` — nondeterministic event order
-UNR004  direct ``heapq`` use outside ``sim/core.py`` — bypasses the
-        kernel's ``(time, phase, seq)`` tie-break
+UNR004  direct ``heapq`` use outside the kernel (``sim/core.py`` /
+        ``sim/scheduler.py``) — bypasses the kernel's ``(time, phase,
+        seq)`` tie-break
 UNR005  ``except Exception`` / bare ``except`` that can swallow
         ``UnrTimeoutError`` (unless the handler re-raises)
 UNR006  wall-clock sources inside the observability layer (``obs``) —
@@ -33,8 +34,9 @@ UNR008  retry/backoff loops (``while`` loops that call ``timeout()``)
         ``core/health.py``) — ad-hoc retry loops bypass the watchdog's
         breaker feedback and dedup tokens
 UNR009  un-slotted classes in the simulator hot-path modules
-        (``sim/core.py``, ``sim/resources.py``, ``netsim/nic.py``,
-        ``netsim/node.py``) — per-event records must declare
+        (``sim/core.py``, ``sim/scheduler.py``, ``sim/resources.py``,
+        ``netsim/nic.py``, ``netsim/node.py``, ``netsim/slab.py``) —
+        per-event records must declare
         ``__slots__`` (or ``@dataclass(slots=True)``); a ``__dict__``
         per instance bloats the event heap and defeats the slab
         allocator.  Exception classes are exempt (cold path).
@@ -124,8 +126,9 @@ RULES: Dict[str, Rule] = {
         Rule(
             "UNR004",
             "direct heapq use outside the simulation kernel",
-            "schedule through Environment (sim/core.py), whose heap is keyed "
-            "(time, phase, seq); a private heap bypasses the tie-break",
+            "schedule through Environment (sim/core.py) and its Scheduler "
+            "(sim/scheduler.py), keyed (time, phase, seq); a private heap "
+            "bypasses the tie-break",
         ),
         Rule(
             "UNR005",
@@ -234,7 +237,10 @@ class LintConfig:
     wallclock_scopes: Tuple[str, ...] = ("sim", "netsim", "core")
     obs_scopes: Tuple[str, ...] = ("obs",)
     wallclock_allowed_suffixes: Tuple[str, ...] = ("obs/profile.py",)
-    heapq_allowed_suffixes: Tuple[str, ...] = ("sim/core.py",)
+    heapq_allowed_suffixes: Tuple[str, ...] = (
+        "sim/core.py",
+        "sim/scheduler.py",
+    )
     cq_allowed_suffixes: Tuple[str, ...] = ("core/engine.py",)
     retry_allowed_suffixes: Tuple[str, ...] = (
         "core/transport.py",
@@ -242,9 +248,11 @@ class LintConfig:
     )
     slots_scope_suffixes: Tuple[str, ...] = (
         "sim/core.py",
+        "sim/scheduler.py",
         "sim/resources.py",
         "netsim/nic.py",
         "netsim/node.py",
+        "netsim/slab.py",
     )
     #: path components under which the UNR010/UNR011 protocol pass runs
     #: (workload code posting real RMA ops).

@@ -35,6 +35,15 @@ from .profile_bench import (
     write_profile_bench,
 )
 from .report import format_series, format_size, format_table
+from .scalingbench import (
+    SCALING_NODE_SERIES,
+    SCALING_SCHEMA,
+    scaling_bench,
+    scaling_point,
+    validate_scaling_bench,
+    validate_scaling_bench_file,
+    write_scaling_bench,
+)
 from .resilience import (
     DEFAULT_CHAOS_FAULTS,
     RESILIENCE_SCHEMA,
@@ -54,6 +63,8 @@ __all__ = [
     "PROFILE_SCHEMA",
     "PROFILE_WORKLOADS",
     "RESILIENCE_SCHEMA",
+    "SCALING_NODE_SERIES",
+    "SCALING_SCHEMA",
     "FIG6_GRIDS",
     "FIG7_SERIES",
     "TRACE_DEMOS",
@@ -80,8 +91,13 @@ __all__ = [
     "pingpong_with_calc",
     "powerllel_point",
     "resilience_bench",
+    "scaling_bench",
+    "scaling_point",
     "trace_demo",
     "unr_pingpong",
+    "validate_scaling_bench",
+    "validate_scaling_bench_file",
+    "write_scaling_bench",
     "validate_engine_bench",
     "validate_engine_bench_file",
     "validate_profile_bench",

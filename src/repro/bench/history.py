@@ -3,7 +3,8 @@
 The bench emitters each write one point-in-time artifact —
 ``BENCH_engine.json`` (datapath cost), ``BENCH_obs.json`` (trace
 demo), ``BENCH_resilience.json`` (chaos soak), ``BENCH_profile.json``
-(host-time attribution).  This module turns any set of those files
+(host-time attribution), ``BENCH_scaling.json`` (host cost over the
+paper's node envelope).  This module turns any set of those files
 into a *trajectory*: runs are normalized to a flat metric row keyed by
 git SHA + platform + name, rendered as a terminal or markdown trend
 table (CI posts the markdown to the job summary next to the prior
@@ -14,7 +15,9 @@ thresholds:
 * ``min_ops_per_sim_sec``  — floor on the engine PUT path throughput;
 * ``max_share``            — per-layer ceilings on the profile's host
   self-time share (e.g. ``obs=0.15`` fails the report if the
-  observability layer ever burns >15% of host time).
+  observability layer ever burns >15% of host time);
+* ``max_scaling_wall_ms``  — ceiling on the scaling bench's headline
+  point (the largest node count, i.e. the full 1728-node machine).
 
 Thresholds apply to the **latest** run of each series (input order =
 chronological order, the CI convention of prior-artifact-then-current);
@@ -45,6 +48,7 @@ KNOWN_SCHEMAS = {
     "repro.obs.bench/1": "obs",
     "repro.bench.resilience/1": "resilience",
     "repro.bench.profile/1": "profile",
+    "repro.bench.scaling/1": "scaling",
 }
 
 
@@ -119,11 +123,35 @@ def _extract_profile(record: Dict[str, Any]) -> Dict[str, float]:
     return metrics
 
 
+def _extract_scaling(record: Dict[str, Any]) -> Dict[str, float]:
+    """Headline = the largest-node point (the full-machine envelope)."""
+    points = record.get("points")
+    if not isinstance(points, list) or not points:
+        return {}
+    top = max(
+        (p for p in points if isinstance(p, dict)),
+        key=lambda p: p.get("nodes", 0) or 0,
+        default=None,
+    )
+    if top is None:
+        return {}
+    metrics: Dict[str, float] = {}
+    for src, dst in (("nodes", "max_nodes"), ("wall_ms", "wall_ms"),
+                     ("setup_ms", "setup_ms"),
+                     ("nodes_materialized", "nodes_materialized"),
+                     ("peak_rss_kb", "peak_rss_kb")):
+        value = _num(top.get(src))
+        if value is not None:
+            metrics[dst] = value
+    return metrics
+
+
 _EXTRACTORS = {
     "repro.bench.engine/1": _extract_engine,
     "repro.obs.bench/1": _extract_obs,
     "repro.bench.resilience/1": _extract_resilience,
     "repro.bench.profile/1": _extract_profile,
+    "repro.bench.scaling/1": _extract_scaling,
 }
 
 
@@ -167,6 +195,7 @@ _HEADLINES = {
     "obs": ("sim_events", "transfers", "t_end_us"),
     "resilience": ("correct", "identical", "degraded_ops"),
     "profile": ("wall_ms", "coverage", "share.engine", "overhead_ratio"),
+    "scaling": ("max_nodes", "wall_ms", "nodes_materialized", "peak_rss_kb"),
 }
 
 
@@ -229,6 +258,7 @@ def check_thresholds(
     max_events_per_put: Optional[float] = None,
     min_ops_per_sim_sec: Optional[float] = None,
     max_share: Optional[Dict[str, float]] = None,
+    max_scaling_wall_ms: Optional[float] = None,
 ) -> List[str]:
     """Regression gates over the **latest** run of each series.
 
@@ -264,6 +294,15 @@ def check_thresholds(
                         f"{where}: host self-time share of layer "
                         f"{layer!r} is {share:.1%}, over the {limit:.1%} cap"
                     )
+        if run["series"] == "scaling" and max_scaling_wall_ms is not None:
+            wall = metrics.get("wall_ms")
+            if wall is not None and wall > max_scaling_wall_ms:
+                nodes = metrics.get("max_nodes")
+                at = f" at {nodes:.0f} nodes" if nodes is not None else ""
+                failures.append(
+                    f"{where}: scaling headline wall_ms {wall:.1f}{at} "
+                    f"exceeds budget {max_scaling_wall_ms:.1f}"
+                )
         if run["series"] == "resilience":
             for verdict in ("correct", "identical"):
                 if metrics.get(verdict) == 0.0:
@@ -278,6 +317,7 @@ def history_report(
     max_events_per_put: Optional[float] = None,
     min_ops_per_sim_sec: Optional[float] = None,
     max_share: Optional[Dict[str, float]] = None,
+    max_scaling_wall_ms: Optional[float] = None,
 ) -> Tuple[str, List[str]]:
     """Load, render and gate; returns ``(report_text, failures)``."""
     runs = load_runs(paths)
@@ -291,6 +331,7 @@ def history_report(
         max_events_per_put=max_events_per_put,
         min_ops_per_sim_sec=min_ops_per_sim_sec,
         max_share=max_share,
+        max_scaling_wall_ms=max_scaling_wall_ms,
     )
     if failures:
         out.append("")

@@ -32,7 +32,7 @@ import json
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..obs import HostProfiler, Recorder
-from ..obs.profile import host_clock_ns, run_meta
+from ..obs.profile import host_clock_ns, peak_rss_kb, run_meta
 
 __all__ = [
     "PROFILE_SCHEMA",
@@ -150,6 +150,7 @@ def profile_bench(
                    "sample_every": sample_every},
         "run": run_meta(),
         "wall_ms": snap["wall_ns"] / 1e6,
+        "peak_rss_kb": peak_rss_kb(),
         "n_events": snap["n_events"],
         "coverage": snap["coverage"],
         "overhead_est_ms": snap["overhead_est_ns"] / 1e6,
@@ -275,6 +276,11 @@ def validate_profile_bench(record: Any) -> List[str]:
     wall = record.get("wall_ms")
     if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall <= 0:
         errors.append("wall_ms must be a positive number")
+    rss = record.get("peak_rss_kb")  # optional: None on non-POSIX hosts
+    if rss is not None and (
+        not isinstance(rss, int) or isinstance(rss, bool) or rss <= 0
+    ):
+        errors.append("peak_rss_kb must be a positive integer when present")
     n_events = record.get("n_events")
     if not isinstance(n_events, int) or isinstance(n_events, bool) or n_events <= 0:
         errors.append("n_events must be a positive integer")

@@ -1,0 +1,228 @@
+"""``repro scaling-bench``: host-cost scaling over the paper's node envelope.
+
+The paper's largest runs (§VII, Figure 7) use TH-XY at up to **1728
+nodes**.  The simulator must be able to *hold* a machine that size even
+when the workload only exercises a small neighbourhood — which is
+exactly what lazy node materialization plus the calendar-queue kernel
+buy.  This bench measures that envelope directly: for each node count
+in :data:`SCALING_NODE_SERIES` it builds the full cluster, runs a fixed-size
+halo-exchange ring over a small contiguous rank neighbourhood, and
+records host wall-clock, peak RSS and how many nodes were actually
+materialized.
+
+Because the workload is constant while the machine grows, the wall/RSS
+curves isolate the *per-node host cost* of the simulator itself: flat
+curves mean O(active-set) scaling, and the headline gate is simply that
+the 1728-node point completes within budget.  The transfers ride the
+Level-4 offload datapath (virtual memory regions — geometry without
+backing storage), so points stay cheap enough for CI.
+
+Output is the machine-readable ``BENCH_scaling.json`` (schema
+``repro.bench.scaling/1``), validated in the same hand-rolled style as
+the other bench emitters and folded into ``repro bench-report
+--history`` cross-run trend tracking.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core import Unr
+from ..obs.profile import host_clock_ns, peak_rss_kb, run_meta
+from ..platforms import get_platform, make_job
+from ..runtime import run_job
+from ..units import US
+
+__all__ = [
+    "SCALING_SCHEMA",
+    "SCALING_NODE_SERIES",
+    "scaling_point",
+    "scaling_bench",
+    "write_scaling_bench",
+    "validate_scaling_bench",
+    "validate_scaling_bench_file",
+]
+
+SCALING_SCHEMA = "repro.bench.scaling/1"
+
+#: Figure 7 node counts (TH-XY): the paper's strong-scaling ladder up
+#: to the full machine.
+SCALING_NODE_SERIES: Tuple[int, ...] = (288, 576, 1152, 1728)
+
+
+def scaling_point(
+    platform: str = "th-xy",
+    n_nodes: int = 1728,
+    *,
+    neighborhood: int = 16,
+    size: int = 65536,
+    iters: int = 8,
+    seed: int = 2024,
+) -> Dict[str, Any]:
+    """One scaling measurement: full ``n_nodes`` cluster, small workload.
+
+    Builds the whole machine, then runs a notified halo ring (each
+    active rank PUTs ``size`` bytes to its right neighbour and waits on
+    the arrival from its left) over the first ``neighborhood`` ranks
+    only.  Returns the per-point record block.
+    """
+    if neighborhood < 2 or neighborhood % 2:
+        raise ValueError("neighborhood must be an even count >= 2")
+    if neighborhood > n_nodes:
+        raise ValueError(
+            f"neighborhood {neighborhood} exceeds n_nodes {n_nodes}"
+        )
+    plat = get_platform(platform)
+    t0 = host_clock_ns()
+    job = make_job(platform, n_nodes, offload=True, seed=seed)
+    unr = Unr(job, plat.channel)
+    setup_ns = host_clock_ns() - t0
+    active = list(range(neighborhood))
+    k = len(active)
+
+    def program(ctx):
+        i = active.index(ctx.rank)
+        right = active[(i + 1) % k]
+        left = active[(i - 1) % k]
+        ep = unr.endpoint(ctx.rank)
+        mr = ep.mem_reg_virtual(size)
+        sig = ep.sig_init(1)
+        blk = ep.blk_init(mr, 0, size, signal=sig)
+        # Pairwise-matched exchange order (parity split) so the ring of
+        # blocking ctl handshakes cannot wait on itself.
+        if i % 2 == 0:
+            rmt_right = yield from ep.exchange_blk(right, blk)
+            yield from ep.exchange_blk(left, blk)
+        else:
+            yield from ep.exchange_blk(left, blk)
+            rmt_right = yield from ep.exchange_blk(right, blk)
+        for _ in range(iters):
+            ep.put(blk, rmt_right, local_signal=None)
+            yield from ep.sig_wait(sig)  # halo from the left arrived
+            ep.sig_reset(sig)
+
+    run_job(job, program, ranks=active)
+    wall_ns = host_clock_ns() - t0
+    traffic = job.cluster.total_traffic()
+    return {
+        "nodes": n_nodes,
+        "ranks_active": k,
+        "nodes_materialized": job.cluster.n_materialized,
+        "wall_ms": wall_ns / 1e6,
+        "setup_ms": setup_ns / 1e6,
+        "sim_time_us": job.env.now / US,
+        "peak_rss_kb": peak_rss_kb(),
+        "puts": int(traffic["tx_msgs"]),
+        "tx_bytes": int(traffic["tx_bytes"]),
+    }
+
+
+def scaling_bench(
+    platform: str = "th-xy",
+    nodes: Optional[Sequence[int]] = None,
+    *,
+    neighborhood: int = 16,
+    size: int = 65536,
+    iters: int = 8,
+    seed: int = 2024,
+) -> Dict[str, Any]:
+    """Run the full node ladder; returns the ``BENCH_scaling.json`` record."""
+    series = sorted(set(nodes)) if nodes else list(SCALING_NODE_SERIES)
+    plat = get_platform(platform)
+    series = [n for n in series if n <= plat.max_nodes]
+    if not series:
+        raise ValueError(f"no node counts within {platform}'s max_nodes")
+    points = [
+        scaling_point(
+            platform, n, neighborhood=neighborhood, size=size,
+            iters=iters, seed=seed,
+        )
+        for n in series
+    ]
+    return {
+        "schema": SCALING_SCHEMA,
+        "name": "scaling_halo",
+        "workload": "halo",
+        "platform": platform,
+        "params": {
+            "neighborhood": neighborhood,
+            "size": size,
+            "iters": iters,
+            "seed": seed,
+        },
+        "run": run_meta(),
+        "points": points,
+    }
+
+
+def write_scaling_bench(record: Dict[str, Any], path: str) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True, indent=2) + "\n")
+    return path
+
+
+def validate_scaling_bench(record: Any) -> List[str]:
+    """Schema-check a scaling record; returns error strings (empty = ok)."""
+    errors: List[str] = []
+    if not isinstance(record, dict):
+        return ["scaling record must be an object"]
+    if record.get("schema") != SCALING_SCHEMA:
+        errors.append(
+            f"schema must be {SCALING_SCHEMA!r}, got {record.get('schema')!r}"
+        )
+    if not isinstance(record.get("platform"), str):
+        errors.append("platform must be a string")
+    if not isinstance(record.get("params"), dict):
+        errors.append("params must be an object")
+    run = record.get("run")
+    if not isinstance(run, dict) or not isinstance(run.get("git_sha"), str):
+        errors.append("run.git_sha must be a string")
+    points = record.get("points")
+    if not isinstance(points, list) or not points:
+        errors.append("points must be a non-empty array")
+        return errors
+    last_nodes = 0
+    for idx, pt in enumerate(points):
+        where = f"points[{idx}]"
+        if not isinstance(pt, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        nodes = pt.get("nodes")
+        if not isinstance(nodes, int) or isinstance(nodes, bool) or nodes < 1:
+            errors.append(f"{where}.nodes must be a positive integer")
+            continue
+        if nodes <= last_nodes:
+            errors.append(f"{where}.nodes must be strictly increasing")
+        last_nodes = nodes
+        for metric in ("wall_ms", "setup_ms", "sim_time_us"):
+            value = pt.get(metric)
+            if (not isinstance(value, (int, float)) or isinstance(value, bool)
+                    or value <= 0):
+                errors.append(f"{where}.{metric} must be a positive number")
+        for metric in ("ranks_active", "puts", "tx_bytes"):
+            value = pt.get(metric)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                errors.append(f"{where}.{metric} must be a positive integer")
+        mat = pt.get("nodes_materialized")
+        if not isinstance(mat, int) or isinstance(mat, bool) or mat < 1:
+            errors.append(f"{where}.nodes_materialized must be a positive integer")
+        elif mat > nodes:
+            errors.append(
+                f"{where}.nodes_materialized ({mat}) exceeds nodes ({nodes})"
+            )
+        rss = pt.get("peak_rss_kb")  # optional: None on non-POSIX hosts
+        if rss is not None and (
+            not isinstance(rss, int) or isinstance(rss, bool) or rss <= 0
+        ):
+            errors.append(f"{where}.peak_rss_kb must be a positive integer when present")
+    return errors
+
+
+def validate_scaling_bench_file(path: str) -> None:
+    """Load + validate a scaling JSON file; raises ``ValueError``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    errors = validate_scaling_bench(record)
+    if errors:
+        raise ValueError(f"{path}: " + "; ".join(errors))

@@ -13,6 +13,7 @@
     python -m repro chaos                       # resilience soak -> BENCH_resilience.json
     python -m repro trace stream                # observed demo + Perfetto JSON
     python -m repro engine-bench                # unified-engine datapath cost
+    python -m repro scaling-bench               # host cost of the 1728-node envelope
     python -m repro fingerprints                # golden wire-fingerprint diff
     python -m repro profile latency             # unrprof host-time attribution
     python -m repro bench-report --history ...  # cross-run bench trend table
@@ -246,6 +247,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "datapath runs and print the attribution report")
 
     p = sub.add_parser(
+        "scaling-bench",
+        help="host-cost scaling over the paper's node envelope: build the "
+             "full cluster at each Figure 7 node count (up to 1728), run a "
+             "fixed-size halo ring, record wall-clock + peak RSS "
+             "-> BENCH_scaling.json",
+    )
+    p.add_argument("--platform", default="th-xy")
+    p.add_argument("--nodes", type=_sizes, default=None, metavar="N1,N2,..",
+                   help="node-count ladder (default: 288,576,1152,1728, "
+                        "capped at the platform's max_nodes)")
+    p.add_argument("--neighborhood", type=int, default=16, metavar="K",
+                   help="active halo-ring ranks per point (even, >= 2; the "
+                        "workload stays this size while the machine grows)")
+    p.add_argument("--size", type=int, default=65536)
+    p.add_argument("--iters", type=int, default=8)
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument("--out", default="BENCH_scaling.json", metavar="PATH",
+                   help="machine-readable scaling record output")
+    p.add_argument("--max-point-seconds", type=float, default=None,
+                   metavar="S",
+                   help="fail (exit 1) when any point's wall-clock exceeds "
+                        "S seconds (the CI envelope-budget gate: the full "
+                        "1728-node machine must stay cheap to hold)")
+
+    p = sub.add_parser(
         "fingerprints",
         help="golden wire-fingerprint corpus: recompute four schedules "
              "per Table III platform and diff against the committed "
@@ -292,8 +318,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "bench-report",
         help="cross-run bench trend report: ingest BENCH_*.json artifacts "
-             "(engine, obs, resilience, profile), render a trend table "
-             "keyed by git SHA + platform, gate on regression thresholds",
+             "(engine, obs, resilience, profile, scaling), render a trend "
+             "table keyed by git SHA + platform, gate on regression "
+             "thresholds",
     )
     p.add_argument("files", nargs="+", metavar="BENCH.json",
                    help="bench artifacts, oldest first (prior runs, then "
@@ -315,6 +342,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail when the latest profile run spends more than "
                         "FRAC of host self-time in LAYER (repeatable, e.g. "
                         "obs=0.15)")
+    p.add_argument("--max-scaling-wall-ms", type=float, default=None,
+                   metavar="MS",
+                   help="fail when the latest scaling run's headline point "
+                        "(largest node count) exceeds MS milliseconds")
 
     p = sub.add_parser(
         "lint",
@@ -756,6 +787,45 @@ def cmd_engine_bench(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_scaling_bench(args) -> int:
+    from .bench import (
+        scaling_bench,
+        validate_scaling_bench,
+        write_scaling_bench,
+    )
+
+    try:
+        record = scaling_bench(
+            args.platform, args.nodes, neighborhood=args.neighborhood,
+            size=args.size, iters=args.iters, seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"scaling-bench: {exc}", file=sys.stderr)
+        return 2
+    errors = validate_scaling_bench(record)
+    if errors:
+        print(f"scaling-bench: record FAILED validation: {'; '.join(errors)}")
+        return 1
+    print(f"Scaling bench on {args.platform} (halo ring, "
+          f"{args.neighborhood} active ranks x {args.iters} x {args.size} B):")
+    for pt in record["points"]:
+        rss = pt["peak_rss_kb"]
+        rss_text = f"{rss / 1024:7.0f} MB" if rss is not None else "     n/a "
+        print(f"  {pt['nodes']:>5d} nodes  wall {pt['wall_ms']:8.1f} ms "
+              f"(setup {pt['setup_ms']:6.1f} ms)  rss {rss_text}  "
+              f"materialized {pt['nodes_materialized']}")
+    write_scaling_bench(record, args.out)
+    print(f"  -> {args.out}")
+    if args.max_point_seconds is not None:
+        worst = max(record["points"], key=lambda p: p["wall_ms"])
+        budget_ms = args.max_point_seconds * 1e3
+        if worst["wall_ms"] > budget_ms:
+            print(f"  verdict FAILED: {worst['nodes']}-node point took "
+                  f"{worst['wall_ms']:.0f} ms > {budget_ms:.0f} ms budget")
+            return 1
+    return 0
+
+
 def cmd_fingerprints(args) -> int:
     from .bench.fingerprints import (
         GOLDEN_PATH,
@@ -859,6 +929,7 @@ def _bench_report(args, max_share, history_report, load_runs,
             max_events_per_put=args.max_events_per_put,
             min_ops_per_sim_sec=args.min_ops_per_sim_sec,
             max_share=max_share,
+            max_scaling_wall_ms=args.max_scaling_wall_ms,
         )
     else:
         # Latest run per series only — the single-artifact summary view.
@@ -875,6 +946,7 @@ def _bench_report(args, max_share, history_report, load_runs,
             max_events_per_put=args.max_events_per_put,
             min_ops_per_sim_sec=args.min_ops_per_sim_sec,
             max_share=max_share,
+            max_scaling_wall_ms=args.max_scaling_wall_ms,
         )
         report = render_trend(kept, fmt=args.format)
         if failures:
@@ -1035,6 +1107,7 @@ _COMMANDS = {
     "chaos": cmd_chaos,
     "trace": cmd_trace,
     "engine-bench": cmd_engine_bench,
+    "scaling-bench": cmd_scaling_bench,
     "fingerprints": cmd_fingerprints,
     "profile": cmd_profile,
     "bench-report": cmd_bench_report,

@@ -40,7 +40,7 @@ from typing import (
     Tuple,
 )
 
-from ..netsim import CompletionRecord, Node, alloc_record, recycle_record
+from ..netsim import CompletionRecord, FragmentSlab, Node, alloc_record, recycle_record
 from ..sim import Environment
 from ..units import US
 from .errors import OpContext, UnrPeerDeadError, UnrTimeoutError, UnrUsageError
@@ -179,29 +179,6 @@ class TransferOp:
     n_posts: int = field(default=0, compare=False)
 
 
-class _InflightFragment:
-    """Registry entry for one posted reliable fragment (drain protocol)."""
-
-    __slots__ = ("fid", "op", "sp", "delivered", "rtok", "ltok", "cancelled")
-
-    def __init__(
-        self,
-        fid: int,
-        op: TransferOp,
-        sp: StripePlan,
-        delivered: Any,
-        rtok: Optional[int],
-        ltok: Optional[int],
-    ) -> None:
-        self.fid = fid
-        self.op = op
-        self.sp = sp
-        self.delivered = delivered
-        self.rtok = rtok
-        self.ltok = ltok
-        self.cancelled = False
-
-
 class TransferEngine:
     """The one posting pipeline behind ``put``/``get``/ctrl/fallback."""
 
@@ -216,10 +193,14 @@ class TransferEngine:
         #: payloads as live slices of the source instead of snapshots.
         self.coalesce: bool = getattr(unr, "coalesce", True)
         self.zero_copy: bool = getattr(unr, "zero_copy", False)
-        #: in-flight reliable fragments, keyed by a monotone id; retired
-        #: on delivery, cancelled by :meth:`drain` against dead peers.
-        self._inflight: Dict[int, _InflightFragment] = {}
-        self._frag_seq = 0
+        #: reliable-fragment registry: struct-of-arrays columns indexed
+        #: by fid (:class:`~repro.netsim.slab.FragmentSlab`), plus an
+        #: insertion-ordered set (dict keys) of the fids still in
+        #: flight.  Retired on delivery, cancelled by :meth:`drain`
+        #: against dead peers; the slab's ``cancelled`` column outlives
+        #: retirement so stale watchdog closures can still read it.
+        self._frags = FragmentSlab()
+        self._inflight: Dict[int, None] = {}
         #: logical-op counter: every post_op call (including plan
         #: replays and Level-0 ctrl tails) gets a fresh id, stamped on
         #: the obs :class:`~repro.obs.recorder.OpRecord` of each of its
@@ -966,11 +947,10 @@ class TransferEngine:
         delivered: Any,
         rtok: Optional[int],
         ltok: Optional[int],
-    ) -> _InflightFragment:
-        self._frag_seq += 1
-        frag = _InflightFragment(self._frag_seq, op, sp, delivered, rtok, ltok)
-        self._inflight[frag.fid] = frag
-        return frag
+    ) -> int:
+        fid = self._frags.alloc(op, sp, delivered, rtok, ltok)
+        self._inflight[fid] = None
+        return fid
 
     # -- drain / quiesce protocol -----------------------------------------
     def drain(self, peer_rank: Optional[int] = None) -> int:
@@ -985,21 +965,25 @@ class TransferEngine:
         number of fragments cancelled.
         """
         health = self.unr.health
+        frags = self._frags
         cancelled = 0
-        for frag in list(self._inflight.values()):
-            op = frag.op
+        for fid in list(self._inflight):
+            i = fid - 1
+            op = frags.op[i]
             if peer_rank is not None and op.dst_rank != peer_rank:
                 continue
-            if frag.delivered is not None and frag.delivered.triggered:
-                self._inflight.pop(frag.fid, None)
+            delivered = frags.delivered[i]
+            if delivered is not None and delivered.triggered:
+                self._inflight.pop(fid, None)
+                frags.retire(fid)
                 continue
             if health is None or not health.fallback_dead(op.src_rank, op.dst_rank):
                 continue
-            self._cancel_fragment(frag)
+            self._cancel_fragment(fid)
             cancelled += 1
         return cancelled
 
-    def _cancel_fragment(self, frag: _InflightFragment) -> None:
+    def _cancel_fragment(self, fid: int) -> None:
         """Discharge one cancelled fragment's notifications.
 
         The adds go through ``_apply_add`` with the fragment's original
@@ -1008,17 +992,20 @@ class TransferEngine:
         count single.  Tokenless Level-0 ctrl tails can't be discharged
         that way — the sanitizer is told to expect the shortfall."""
         unr = self.unr
-        frag.cancelled = True
-        self._inflight.pop(frag.fid, None)
-        op, sp = frag.op, frag.sp
+        frags = self._frags
+        frags.cancel(fid)
+        self._inflight.pop(fid, None)
+        i = fid - 1
+        op, sp = frags.op[i], frags.sp[i]
         if sp.local_sig is not None:
             node, sid, addend = sp.local_sig
-            unr._apply_add(node, sid, addend, token=frag.ltok)
+            unr._apply_add(node, sid, addend, token=frags.ltok[i])
         if sp.remote_sig is not None:
             node, sid, addend = sp.remote_sig
-            unr._apply_add(node, sid, addend, token=frag.rtok)
+            unr._apply_add(node, sid, addend, token=frags.rtok[i])
         if op.ctrl_remote and op.rsid is not None and unr.sanitizer is not None:
             unr.sanitizer.on_fragment_drained(op.dst_node, op.rsid)
+        frags.retire(fid)  # keeps the cancelled flag for stale watchdogs
         unr.stats["drained_fragments"] += 1
         if unr.obs is not None:
             unr.obs.count("health.drained_fragments")
@@ -1072,7 +1059,7 @@ class TransferEngine:
     def _watchdog(self, post: Callable[[int], Any], delivered: Any, nbytes: int,
                   src_rank: int, dst_rank: int, first_rail: int, what: str,
                   round_trip: bool = False,
-                  frag: Optional[_InflightFragment] = None) -> None:
+                  frag: Optional[int] = None) -> None:
         """Guard one posted fragment: retransmit (with exponential
         backoff, moving to the next live target each attempt) until
         ``delivered`` fires, else raise :class:`UnrTimeoutError`.
@@ -1103,13 +1090,14 @@ class TransferEngine:
             attempts = [(_target_label(target), env.now / US)]
             for attempt in range(rel.max_retries + 1):
                 yield env.any_of([delivered, env.timeout(t)])
-                if frag is not None and frag.cancelled:
+                if frag is not None and self._frags.is_cancelled(frag):
                     return  # drained: the op was quiesced against a dead peer
                 if delivered.triggered:
                     if health is not None and target != FALLBACK_RAIL:
                         health.on_success(src_rank, dst_rank, target)
                     if frag is not None:
-                        self._inflight.pop(frag.fid, None)
+                        self._inflight.pop(frag, None)
+                        self._frags.retire(frag)
                     if attempt:
                         unr.stats["recovered_ops"] += 1
                     return
@@ -1170,7 +1158,7 @@ class TransferEngine:
 
         env.process(guard(), name=f"unr-watchdog-{what.lower()}")
 
-    def _fail_op_waiter(self, frag: Optional[_InflightFragment],
+    def _fail_op_waiter(self, frag: Optional[int],
                         err: BaseException) -> bool:
         """Throw ``err`` into a frame blocked in ``sig_wait`` on one of
         the fragment's signals.  The remote notification is the one the
@@ -1178,7 +1166,10 @@ class TransferEngine:
         the data left the source NIC), so its waiter is tried first."""
         if frag is None:
             return False
-        for spec in (frag.sp.remote_sig, frag.sp.local_sig):
+        sp = self._frags.sp[frag - 1]
+        if sp is None:  # already retired — nothing left to discharge
+            return False
+        for spec in (sp.remote_sig, sp.local_sig):
             if spec is None:
                 continue
             node, sid, _ = spec

@@ -23,9 +23,13 @@ from .nic import (
     CqOverflowError,
     Nic,
     alloc_record,
+    configure_record_pool,
+    record_pool_stats,
     recycle_record,
+    reset_record_pool,
 )
 from .node import CpuSet, Node
+from .slab import FragmentSlab, NicSlab, RecordPool
 from .spec import GBPS, US, ClusterSpec, FabricSpec, NicSpec, NodeSpec
 from .trace import MessageTrace, TraceRecord
 
@@ -43,15 +47,21 @@ __all__ = [
     "FabricSpec",
     "FaultInjector",
     "FaultSpec",
+    "FragmentSlab",
     "LinkFlap",
     "Nic",
+    "NicSlab",
     "NicSpec",
     "MessageTrace",
     "Node",
     "NodeCrash",
     "NodeSpec",
     "RailFailure",
+    "RecordPool",
     "TraceRecord",
     "alloc_record",
+    "configure_record_pool",
+    "record_pool_stats",
     "recycle_record",
+    "reset_record_pool",
 ]

@@ -325,9 +325,20 @@ class FaultInjector:
         self._schedule_node_crashes()
         self._schedule_endpoint_downs()
         self._schedule_link_flaps()
-        for node in cluster.nodes:
-            for nic in node.nics:
-                self._wrap(nic)
+        # Wrap NICs as their nodes materialize (lazy cluster).  The hook
+        # applies immediately to already-built nodes, so attaching the
+        # injector before the Recorder keeps the fault wrapper innermost
+        # exactly as the historical eager loop did.
+        add_hook = getattr(cluster, "add_node_hook", None)
+        if add_hook is not None:
+            add_hook(self._wrap_node)
+        else:  # plain/eager cluster stand-ins (tests)
+            for node in cluster.nodes:
+                self._wrap_node(node)
+
+    def _wrap_node(self, node) -> None:
+        for nic in node.nics:
+            self._wrap(nic)
 
     @classmethod
     def attach(cls, cluster, spec: FaultSpec) -> "FaultInjector":

@@ -27,11 +27,12 @@ polling thread needed, reproducing the paper's §IV-C proposal.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, Generator, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from ..sim import Environment, Event, Store
+from .slab import NicSlab, RecordPool
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .node import Node
@@ -43,6 +44,9 @@ __all__ = [
     "CqOverflowError",
     "alloc_record",
     "recycle_record",
+    "configure_record_pool",
+    "record_pool_stats",
+    "reset_record_pool",
 ]
 
 
@@ -87,9 +91,27 @@ class CompletionRecord:
 
 
 #: Free list for :func:`alloc_record`; bounded so a pathological burst
-#: cannot pin memory forever.
-_RECORD_POOL: List[CompletionRecord] = []
-_RECORD_POOL_LIMIT = 4096
+#: cannot pin memory forever.  Process-global (records flow between
+#: clusters' progress engines only within one process); the cap is
+#: configurable via :func:`configure_record_pool` /
+#: ``ClusterSpec.record_pool_limit``, and the hit/miss accounting is
+#: surfaced through the Recorder's ``net.record_pool.*`` collector.
+_RECORD_POOL = RecordPool()
+
+
+def configure_record_pool(limit: int) -> None:
+    """Re-cap the process-global completion-record free list."""
+    _RECORD_POOL.configure(limit)
+
+
+def record_pool_stats() -> Dict[str, float]:
+    """Hit/miss/recycle accounting of the record free list."""
+    return _RECORD_POOL.stats()
+
+
+def reset_record_pool() -> None:
+    """Cold-start the pool (new run): clear the free list, zero stats."""
+    _RECORD_POOL.reset()
 
 
 def alloc_record(
@@ -111,8 +133,8 @@ def alloc_record(
     marked pool-owned so :func:`recycle_record` can reclaim it after the
     progress engine dispatches it.
     """
-    if _RECORD_POOL:
-        rec = _RECORD_POOL.pop()
+    rec = _RECORD_POOL.take()
+    if rec is not None:
         rec.kind = kind
         rec.custom = custom
         rec.nbytes = nbytes
@@ -145,8 +167,7 @@ def recycle_record(rec: CompletionRecord) -> None:
     rec.tag = None
     rec.payload = None
     rec.token = None
-    if len(_RECORD_POOL) < _RECORD_POOL_LIMIT:
-        _RECORD_POOL.append(rec)
+    _RECORD_POOL.give(rec)
 
 
 class CompletionQueue:
@@ -161,32 +182,60 @@ class CompletionQueue:
     flags any other caller.
     """
 
-    __slots__ = (
-        "env", "depth", "_store", "high_water", "n_pushed",
-        "n_overflow_stalls", "stall_time", "stalled_until",
-    )
+    __slots__ = ("env", "depth", "_store", "_slab", "_slot")
 
-    def __init__(self, env: Environment, depth: int):
+    def __init__(
+        self,
+        env: Environment,
+        depth: int,
+        *,
+        slab: Optional[NicSlab] = None,
+        slot: Optional[int] = None,
+    ):
         self.env = env
         self.depth = depth
         self._store = Store(env, capacity=depth)
-        self.high_water = 0
-        self.n_pushed = 0
-        self.n_overflow_stalls = 0
-        self.stall_time = 0.0
-        # Fault injection: while stalled, the CQ accepts pushes but
-        # refuses to hand out records (a wedged progress engine).
-        self.stalled_until = 0.0
+        # Accounting lives in struct-of-arrays slab columns.  A NIC's CQ
+        # shares the NIC's slot in the cluster slab; standalone queues
+        # (tests, ad-hoc models) get a private single-slot slab.
+        if slab is None:
+            slab = NicSlab()
+            slot = slab.alloc()
+        assert slot is not None
+        self._slab = slab
+        self._slot = slot
+
+    # -- slab-backed accounting (columns, one slot per queue) ----------
+    @property
+    def high_water(self) -> int:
+        return self._slab.cq_high_water[self._slot]
+
+    @property
+    def n_pushed(self) -> int:
+        return self._slab.cq_pushed[self._slot]
+
+    @property
+    def n_overflow_stalls(self) -> int:
+        return self._slab.cq_overflow_stalls[self._slot]
+
+    @property
+    def stall_time(self) -> float:
+        return self._slab.cq_stall_time[self._slot]
+
+    @property
+    def stalled_until(self) -> float:
+        return self._slab.cq_stalled_until[self._slot]
 
     @property
     def is_stalled(self) -> bool:
-        return self.env.now < self.stalled_until
+        return self.env.now < self._slab.cq_stalled_until[self._slot]
 
     def stall(self, until: float) -> None:
         """Suspend servicing (``poll``/``poll_batch``) until sim time
         ``until``.  Blocking ``get`` waiters already in flight are not
         interrupted; pollers must check :attr:`is_stalled`."""
-        self.stalled_until = max(self.stalled_until, until)
+        col = self._slab.cq_stalled_until
+        col[self._slot] = max(col[self._slot], until)
 
     def __len__(self) -> int:
         return len(self._store)
@@ -197,15 +246,18 @@ class CompletionQueue:
 
     def push(self, record: CompletionRecord):
         """Generator: enqueue ``record``, stalling while the CQ is full."""
+        slab, i = self._slab, self._slot
         if self._store.is_full:
-            self.n_overflow_stalls += 1
+            slab.cq_overflow_stalls[i] += 1
             t0 = self.env.now
             yield self._store.put(record)
-            self.stall_time += self.env.now - t0
+            slab.cq_stall_time[i] += self.env.now - t0
         else:
             yield self._store.put(record)
-        self.n_pushed += 1
-        self.high_water = max(self.high_water, len(self._store))
+        slab.cq_pushed[i] += 1
+        depth = len(self._store)
+        if depth > slab.cq_high_water[i]:
+            slab.cq_high_water[i] = depth
 
     def try_push(self, record: CompletionRecord) -> bool:
         """Synchronous fast-path enqueue; ``False`` when the CQ is full.
@@ -219,8 +271,11 @@ class CompletionQueue:
         """
         if not self._store.put_nowait(record):
             return False
-        self.n_pushed += 1
-        self.high_water = max(self.high_water, len(self._store))
+        slab, i = self._slab, self._slot
+        slab.cq_pushed[i] += 1
+        depth = len(self._store)
+        if depth > slab.cq_high_water[i]:
+            slab.cq_high_water[i] = depth
         return True
 
     def poll(self) -> Optional[CompletionRecord]:
@@ -266,13 +321,6 @@ class CompletionQueue:
         return self._store.get()
 
 
-@dataclass(slots=True)
-class _PortState:
-    """Busy-until bookkeeping for one direction of one NIC."""
-
-    free_at: float = 0.0
-
-
 def _blocking_push(cq: CompletionQueue, record: CompletionRecord) -> Generator:
     """Overflow fallback: the blocking CQ push as its own process."""
     yield from cq.push(record)
@@ -307,6 +355,9 @@ class Nic:  # unrlint: disable=UNR009
         spec,
         fabric,
         rng: np.random.Generator,
+        *,
+        slab: Optional[NicSlab] = None,
+        slot: Optional[int] = None,
     ):
         self.env = env
         self.node = node
@@ -314,22 +365,42 @@ class Nic:  # unrlint: disable=UNR009
         self.spec = spec
         self.fabric = fabric
         self.rng = rng
-        self.cq = CompletionQueue(env, spec.cq_depth)
+        # Hot scalar state (port/doorbell busy-until horizons, traffic
+        # counters, CQ accounting) lives in struct-of-arrays columns: one
+        # slot per NIC, shared with its CQ.  A cluster hands every NIC a
+        # slot in its shared slab; standalone NICs get a private one.
+        if slab is None:
+            slab = NicSlab()
+            slot = slab.alloc()
+        assert slot is not None
+        self._slab = slab
+        self._slot = slot
+        self.cq = CompletionQueue(env, spec.cq_depth, slab=slab, slot=slot)
         # Fault injection: a failed rail delivers nothing (see
         # :mod:`repro.netsim.faults`); the happy path never sets this.
         self.failed = False
-        self._tx = _PortState()
-        self._rx = _PortState()
-        self._tx_msg_free = 0.0  # message-issue-rate horizon (doorbells)
         # Per-source ordered-delivery horizon (for ordered=True traffic).
         self._ordered_horizon: dict = {}
-        # Traffic counters.
-        self.tx_msgs = 0
-        self.tx_bytes = 0
-        self.rx_msgs = 0
-        self.rx_bytes = 0
 
     # ------------------------------------------------------------------
+    # slab-backed traffic counters (read-only compatibility surface; the
+    # datapath below writes the columns directly)
+    @property
+    def tx_msgs(self) -> int:
+        return self._slab.tx_msgs[self._slot]
+
+    @property
+    def tx_bytes(self) -> int:
+        return self._slab.tx_bytes[self._slot]
+
+    @property
+    def rx_msgs(self) -> int:
+        return self._slab.rx_msgs[self._slot]
+
+    @property
+    def rx_bytes(self) -> int:
+        return self._slab.rx_bytes[self._slot]
+
     @property
     def global_id(self) -> tuple:
         return (self.node.index, self.index)
@@ -377,6 +448,7 @@ class Nic:  # unrlint: disable=UNR009
             raise ValueError("nbytes must be non-negative")
         env = self.env
         now = env.now
+        slab, slot = self._slab, self._slot
         if dst.node is self.node:
             # Intra-node: a memcpy through shared memory — it does not
             # occupy the NIC tx/rx ports (real stacks use CMA/XPMEM).
@@ -395,8 +467,8 @@ class Nic:  # unrlint: disable=UNR009
             # message-issue rate (one doorbell/WQE per message).
             bw = self._bandwidth_to(dst)
             serialization = nbytes / bw
-            start = max(now, self._tx_msg_free)
-            self._tx_msg_free = start + self.spec.msg_overhead
+            start = max(now, slab.tx_msg_free[slot])
+            slab.tx_msg_free[slot] = start + self.spec.msg_overhead
             tx_end = start + self.spec.msg_overhead + serialization
             latency = self._wire_latency(dst)
             deliver_at = (
@@ -411,14 +483,15 @@ class Nic:  # unrlint: disable=UNR009
                 dst._ordered_horizon[key] = deliver_at
         else:
             bw = self._bandwidth_to(dst)
-            tx_start = max(now, self._tx.free_at)
+            tx_start = max(now, slab.tx_free[slot])
             serialization = nbytes / bw
             tx_end = tx_start + self.spec.msg_overhead + serialization
-            self._tx.free_at = tx_end
+            slab.tx_free[slot] = tx_end
             latency = self._wire_latency(dst)
             first_byte = tx_start + self.spec.msg_overhead + latency
-            rx_start = max(first_byte, dst._rx.free_at)
-            dst._rx.free_at = rx_start + serialization
+            dslab, dslot = dst._slab, dst._slot
+            rx_start = max(first_byte, dslab.rx_free[dslot])
+            dslab.rx_free[dslot] = rx_start + serialization
             deliver_at = (
                 max(tx_end + latency, rx_start + serialization)
                 + dst.spec.rx_overhead
@@ -429,8 +502,8 @@ class Nic:  # unrlint: disable=UNR009
                 deliver_at = max(deliver_at, dst._ordered_horizon.get(key, 0.0))
                 dst._ordered_horizon[key] = deliver_at
 
-        self.tx_msgs += 1
-        self.tx_bytes += nbytes
+        slab.tx_msgs[slot] += 1
+        slab.tx_bytes[slot] += nbytes
         done = env.event()
 
         # Each side is one deferred callback — one heap entry instead of
@@ -449,8 +522,9 @@ class Nic:  # unrlint: disable=UNR009
             done.resolve(tx_end)
 
         def remote_side(_value: Any) -> None:
-            dst.rx_msgs += 1
-            dst.rx_bytes += nbytes
+            rslab, rslot = dst._slab, dst._slot
+            rslab.rx_msgs[rslot] += 1
+            rslab.rx_bytes[rslot] += nbytes
             if on_deliver is not None:
                 on_deliver(payload)
             if remote_action is not None and dst.spec.atomic_offload:
@@ -491,30 +565,34 @@ class Nic:  # unrlint: disable=UNR009
         env = self.env
         now = env.now
         bw = self._bandwidth_to(dst)
+        slab, slot = self._slab, self._slot
+        dslab, dslot = dst._slab, dst._slot
         # Request leg: minimal message.
-        tx_start = max(now, self._tx.free_at)
+        tx_start = max(now, slab.tx_free[slot])
         req_end = tx_start + self.spec.msg_overhead
-        self._tx.free_at = req_end
+        slab.tx_free[slot] = req_end
         latency = self._wire_latency(dst)
         req_arrive = req_end + latency
         # Response leg: target injects the data back.
         serialization = nbytes / bw
-        resp_start = max(req_arrive, dst._tx.free_at)
+        resp_start = max(req_arrive, dslab.tx_free[dslot])
         resp_end = resp_start + dst.spec.msg_overhead + serialization
-        dst._tx.free_at = resp_end
-        rx_start = max(resp_start + dst.spec.msg_overhead + latency, self._rx.free_at)
-        self._rx.free_at = rx_start + serialization
+        dslab.tx_free[dslot] = resp_end
+        rx_start = max(
+            resp_start + dst.spec.msg_overhead + latency, slab.rx_free[slot]
+        )
+        slab.rx_free[slot] = rx_start + serialization
         deliver_at = (
             max(resp_end + latency, rx_start + serialization)
             + self.spec.rx_overhead
             + self._jitter(dst, serialization, ordered=False)
         )
 
-        self.tx_msgs += 1
-        dst.tx_msgs += 1
-        dst.tx_bytes += nbytes
-        self.rx_msgs += 1
-        self.rx_bytes += nbytes
+        slab.tx_msgs[slot] += 1
+        dslab.tx_msgs[dslot] += 1
+        dslab.tx_bytes[dslot] += nbytes
+        slab.rx_msgs[slot] += 1
+        slab.rx_bytes[slot] += nbytes
         done = env.event()
         fetched: Any = None
 

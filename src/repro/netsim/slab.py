@@ -1,0 +1,234 @@
+"""Struct-of-arrays slab storage for the netsim/engine hot path.
+
+Three allocators live here, all designed for the cluster-scale runs
+(1728 nodes, multi-thousand ranks) where per-object Python overhead and
+per-instance dicts dominate memory:
+
+:class:`RecordPool`
+    The bounded free list behind :func:`repro.netsim.nic.alloc_record`.
+    Grew out of the PR 6 module-level list; now carries a *configurable*
+    cap and hit/miss statistics so slab sizing at 10k+ ranks is observed
+    (through the Recorder's ``net.record_pool.*`` collector) rather than
+    guessed.
+
+:class:`NicSlab`
+    One column set for every hot per-NIC scalar — port busy-until
+    horizons, the message-issue horizon, traffic counters, and the
+    completion-queue accounting.  Each NIC owns one *slot* (an integer
+    index) shared with its CQ; columns are plain Python lists, so a
+    3456-NIC cluster stores its hot state in a dozen contiguous lists
+    instead of thousands of per-object attribute dicts, and aggregation
+    (:meth:`traffic_totals`) is a column sum that never touches the
+    Node/Nic object graph.
+
+:class:`FragmentSlab`
+    The transfer engine's in-flight reliable-fragment registry as
+    fid-indexed append-only columns (slot ``fid - 1``).  Slots are never
+    reused: a watchdog closure holding a stale fid can still read its
+    ``cancelled`` flag long after the fragment retired.  Object-carrying
+    columns are nulled at retirement so the slab pins only a row of
+    ``None``s per completed fragment.
+
+All classes are slotted (unrlint UNR009 scope covers this module).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["RecordPool", "NicSlab", "FragmentSlab", "DEFAULT_RECORD_POOL_LIMIT"]
+
+#: historical default cap of the PR 6 record free list
+DEFAULT_RECORD_POOL_LIMIT = 4096
+
+
+class RecordPool:
+    """A bounded free list with reuse statistics.
+
+    Type-agnostic: callers construct the pooled objects themselves on a
+    miss (:meth:`take` returning ``None``) and offer them back with
+    :meth:`give`, which refuses (and counts) objects beyond ``limit``.
+    """
+
+    __slots__ = ("limit", "hits", "misses", "recycled", "dropped", "_free")
+
+    def __init__(self, limit: int = DEFAULT_RECORD_POOL_LIMIT) -> None:
+        if limit < 0:
+            raise ValueError(f"pool limit must be >= 0, got {limit}")
+        self.limit = limit
+        self.hits = 0      # allocations served from the free list
+        self.misses = 0    # allocations that constructed a new object
+        self.recycled = 0  # objects accepted back into the pool
+        self.dropped = 0   # objects refused because the pool was full
+        self._free: List[Any] = []
+
+    def take(self) -> Optional[Any]:
+        """Pop a pooled object, or ``None`` (a miss — caller constructs)."""
+        if self._free:
+            self.hits += 1
+            return self._free.pop()
+        self.misses += 1
+        return None
+
+    def give(self, obj: Any) -> bool:
+        """Offer ``obj`` back; ``False`` (dropped) when the pool is full."""
+        if len(self._free) < self.limit:
+            self._free.append(obj)
+            self.recycled += 1
+            return True
+        self.dropped += 1
+        return False
+
+    def configure(self, limit: int) -> None:
+        """Re-cap the pool; excess pooled objects are released at once."""
+        if limit < 0:
+            raise ValueError(f"pool limit must be >= 0, got {limit}")
+        self.limit = limit
+        if len(self._free) > limit:
+            del self._free[limit:]
+
+    def reset(self) -> None:
+        """Drop all pooled objects and zero the statistics (keep the cap).
+
+        Called at :class:`~repro.netsim.cluster.Cluster` construction so
+        every run starts from a cold pool: the reported hit/miss stats
+        are per-run, and identical runs in one process stay byte-stable
+        even though the pool object is process-global.
+        """
+        self.hits = self.misses = self.recycled = self.dropped = 0
+        self._free.clear()
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def stats(self) -> Dict[str, float]:
+        """Snapshot of the pool accounting (Recorder collector payload)."""
+        return {
+            "limit": self.limit,
+            "free": len(self._free),
+            "hits": self.hits,
+            "misses": self.misses,
+            "recycled": self.recycled,
+            "dropped": self.dropped,
+        }
+
+
+class NicSlab:
+    """Hot per-NIC scalars as parallel columns, one slot per NIC.
+
+    The NIC and its completion queue share the slot: ``tx_free`` /
+    ``rx_free`` / ``tx_msg_free`` are the port and doorbell busy-until
+    horizons, ``tx_msgs``..``rx_bytes`` the traffic counters, and the
+    ``cq_*`` columns the queue accounting that used to live on
+    ``CompletionQueue`` instances.
+    """
+
+    __slots__ = (
+        "tx_free", "rx_free", "tx_msg_free",
+        "tx_msgs", "tx_bytes", "rx_msgs", "rx_bytes",
+        "cq_pushed", "cq_high_water", "cq_overflow_stalls",
+        "cq_stall_time", "cq_stalled_until",
+    )
+
+    def __init__(self) -> None:
+        self.tx_free: List[float] = []
+        self.rx_free: List[float] = []
+        self.tx_msg_free: List[float] = []
+        self.tx_msgs: List[int] = []
+        self.tx_bytes: List[int] = []
+        self.rx_msgs: List[int] = []
+        self.rx_bytes: List[int] = []
+        self.cq_pushed: List[int] = []
+        self.cq_high_water: List[int] = []
+        self.cq_overflow_stalls: List[int] = []
+        self.cq_stall_time: List[float] = []
+        self.cq_stalled_until: List[float] = []
+
+    def alloc(self) -> int:
+        """Append one zeroed slot to every column; returns its index."""
+        slot = len(self.tx_free)
+        self.tx_free.append(0.0)
+        self.rx_free.append(0.0)
+        self.tx_msg_free.append(0.0)
+        self.tx_msgs.append(0)
+        self.tx_bytes.append(0)
+        self.rx_msgs.append(0)
+        self.rx_bytes.append(0)
+        self.cq_pushed.append(0)
+        self.cq_high_water.append(0)
+        self.cq_overflow_stalls.append(0)
+        self.cq_stall_time.append(0.0)
+        self.cq_stalled_until.append(0.0)
+        return slot
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.tx_free)
+
+    def traffic_totals(self) -> Dict[str, int]:
+        """Column-sum traffic aggregate (``Cluster.total_traffic``).
+
+        Only materialized NICs have slots, which is exactly right: an
+        unmaterialized NIC cannot have moved a byte.
+        """
+        return {
+            "tx_msgs": sum(self.tx_msgs),
+            "tx_bytes": sum(self.tx_bytes),
+            "rx_msgs": sum(self.rx_msgs),
+            "rx_bytes": sum(self.rx_bytes),
+            "cq_overflow_stalls": sum(self.cq_overflow_stalls),
+        }
+
+
+class FragmentSlab:
+    """In-flight reliable fragments, columns indexed by ``fid - 1``.
+
+    Append-only: :meth:`alloc` mints monotonically increasing fids and
+    slots are never reused, so any closure holding a fid can check
+    :meth:`is_cancelled` safely forever.  :meth:`retire` nulls the
+    object-carrying columns (op/sp/delivered/tokens) so a long run pins
+    one row of ``None`` per completed fragment, not the object graph.
+    """
+
+    __slots__ = ("op", "sp", "delivered", "rtok", "ltok", "cancelled")
+
+    def __init__(self) -> None:
+        self.op: List[Any] = []
+        self.sp: List[Any] = []
+        self.delivered: List[Any] = []
+        self.rtok: List[Optional[int]] = []
+        self.ltok: List[Optional[int]] = []
+        self.cancelled: List[bool] = []
+
+    def alloc(self, op: Any, sp: Any, delivered: Any,
+              rtok: Optional[int], ltok: Optional[int]) -> int:
+        """Register one posted fragment; returns its fid (1-based)."""
+        self.op.append(op)
+        self.sp.append(sp)
+        self.delivered.append(delivered)
+        self.rtok.append(rtok)
+        self.ltok.append(ltok)
+        self.cancelled.append(False)
+        return len(self.op)
+
+    def is_cancelled(self, fid: int) -> bool:
+        return self.cancelled[fid - 1]
+
+    def cancel(self, fid: int) -> None:
+        self.cancelled[fid - 1] = True
+
+    def retire(self, fid: int) -> None:
+        """Null the object columns of a completed/cancelled fragment.
+
+        The ``cancelled`` flag survives retirement — stale watchdog
+        closures read it after the fragment is gone.
+        """
+        i = fid - 1
+        self.op[i] = None
+        self.sp[i] = None
+        self.delivered[i] = None
+        self.rtok[i] = None
+        self.ltok[i] = None
+
+    def __len__(self) -> int:
+        return len(self.op)

@@ -30,7 +30,7 @@ from .export import (
     write_bench,
     write_perfetto,
 )
-from .profile import HostProfiler, host_clock_ns
+from .profile import HostProfiler, host_clock_ns, peak_rss_kb
 from .recorder import Histogram, InstantEvent, OpRecord, ProtoEvent, Recorder
 from .spans import Span, SpanHandle, SpanLog
 
@@ -38,6 +38,7 @@ __all__ = [
     "Recorder",
     "HostProfiler",
     "host_clock_ns",
+    "peak_rss_kb",
     "Histogram",
     "InstantEvent",
     "OpRecord",

@@ -27,12 +27,26 @@ __all__ = ["instrument_cluster"]
 
 
 def instrument_cluster(recorder: "Recorder", cluster: Any) -> None:
-    """Wrap every NIC of ``cluster`` and register the pull-collectors."""
-    for node in cluster.nodes:
+    """Wrap every NIC of ``cluster`` and register the pull-collectors.
+
+    On a lazy cluster the wrapping rides the node-materialization hook,
+    so attaching a Recorder never forces the full node graph into
+    existence (the 1728-node scaling runs depend on this).
+    """
+
+    def wrap_node(node: Any) -> None:
         for nic in node.nics:
             _wrap_nic(recorder, nic)
+
+    add_hook = getattr(cluster, "add_node_hook", None)
+    if add_hook is not None:
+        add_hook(wrap_node)
+    else:  # plain/eager cluster stand-ins (tests)
+        for node in cluster.nodes:
+            wrap_node(node)
     recorder.add_collector(lambda: _collect_net(cluster))
     recorder.add_collector(lambda: _collect_faults(cluster))
+    recorder.add_collector(_collect_pool)
 
 
 def _wrap_nic(recorder: "Recorder", nic: Nic) -> None:
@@ -86,9 +100,16 @@ def _wrap_nic(recorder: "Recorder", nic: Nic) -> None:
 
 
 def _collect_net(cluster: Any) -> Dict[str, float]:
-    """Per-rail NIC utilisation and CQ depth/stall counters."""
+    """Per-rail NIC utilisation and CQ depth/stall counters.
+
+    Only materialized nodes are visited: an untouched node has no
+    traffic, and iterating ``cluster.nodes`` here would defeat the lazy
+    construction the scaling runs rely on.
+    """
     out: Dict[str, float] = {}
-    for node in cluster.nodes:
+    materialized = getattr(cluster, "materialized_nodes", None)
+    nodes = materialized() if materialized is not None else cluster.nodes
+    for node in nodes:
         for nic in node.nics:
             pre = f"net.n{node.index}.r{nic.index}."
             out[pre + "tx_msgs"] = nic.tx_msgs
@@ -100,6 +121,21 @@ def _collect_net(cluster: Any) -> Dict[str, float]:
             out[pre + "cq_overflow_stalls"] = nic.cq.n_overflow_stalls
             out[pre + "cq_stall_us"] = nic.cq.stall_time / US
     return out
+
+
+def _collect_pool() -> Dict[str, float]:
+    """Completion-record pool accounting (``net.record_pool.*``).
+
+    The pool is process-global (see
+    :func:`repro.netsim.nic.configure_record_pool`), so the snapshot is
+    cluster-independent; hit/miss/dropped counts tell whether the cap
+    fits the run's completion-record working set."""
+    from ..netsim.nic import record_pool_stats
+
+    return {
+        f"net.record_pool.{key}": float(value)
+        for key, value in record_pool_stats().items()
+    }
 
 
 def _collect_faults(cluster: Any) -> Dict[str, float]:

@@ -61,6 +61,7 @@ from ..sim.core import Deferred as _Deferred
 __all__ = [
     "HostProfiler",
     "host_clock_ns",
+    "peak_rss_kb",
     "run_meta",
 ]
 
@@ -75,6 +76,25 @@ def host_clock_ns() -> int:
     unrlint UNR012 reserves ``time.*`` for this module.
     """
     return _clock_ns()
+
+
+def peak_rss_kb() -> Optional[int]:
+    """Peak resident set size of this process, in kilobytes.
+
+    Read from ``resource.getrusage`` (``ru_maxrss`` is KB on Linux, and
+    converted from bytes on macOS); ``None`` on platforms without the
+    ``resource`` module.  Like the host clock this is host-side
+    telemetry only — it rides in bench records (``peak_rss_kb``) and
+    never feeds the simulation.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
+        rss //= 1024
+    return int(rss)
 
 
 def run_meta() -> Dict[str, Any]:

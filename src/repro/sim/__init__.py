@@ -2,10 +2,13 @@
 
 Public surface:
 
-* :class:`~repro.sim.core.Environment` — clock + event heap.
+* :class:`~repro.sim.core.Environment` — clock + pending-event scheduler.
 * :class:`~repro.sim.core.Event`, :class:`~repro.sim.core.Timeout`,
   :class:`~repro.sim.core.Process`, :class:`~repro.sim.core.AllOf`,
   :class:`~repro.sim.core.AnyOf`, :class:`~repro.sim.core.Interrupt`.
+* :class:`~repro.sim.scheduler.Scheduler` — pluggable event queue:
+  :class:`~repro.sim.scheduler.CalendarScheduler` (default) and the
+  reference :class:`~repro.sim.scheduler.HeapScheduler`.
 * :class:`~repro.sim.resources.Store`, `PriorityStore`, `FilterStore`,
   :class:`~repro.sim.resources.Resource`.
 """
@@ -24,19 +27,23 @@ from .core import (
     Timeout,
 )
 from .resources import FilterStore, PriorityStore, Resource, Store
+from .scheduler import CalendarScheduler, HeapScheduler, Scheduler
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarScheduler",
     "Condition",
     "Deferred",
     "Environment",
     "Event",
     "FilterStore",
+    "HeapScheduler",
     "Interrupt",
     "PriorityStore",
     "Process",
     "Resource",
+    "Scheduler",
     "SimulationError",
     "StopProcess",
     "Store",

@@ -7,9 +7,15 @@ is the foundation for the cluster/network model (:mod:`repro.netsim`), the
 simulated MPI substrate (:mod:`repro.mpi`) and the UNR library itself
 (:mod:`repro.core`).
 
-Determinism: the event heap is keyed by ``(time, sequence_number)`` so two
-runs of the same program produce identical schedules.  All randomness used
-by higher layers comes from seeded ``numpy.random.Generator`` instances.
+Determinism: every pending event is keyed by ``(time, phase, seq)`` —
+``seq`` is unique, so the key is a total order and two runs of the same
+program produce identical schedules.  The queue itself is pluggable
+(:mod:`repro.sim.scheduler`): the default :class:`CalendarScheduler`
+bins events into fixed-width days for cluster-scale runs, and the
+reference :class:`HeapScheduler` is the historical single-heap kernel.
+Both pop in exact ascending key order, so the choice never changes the
+simulation.  All randomness used by higher layers comes from seeded
+``numpy.random.Generator`` instances.
 
 Example
 -------
@@ -26,8 +32,9 @@ Example
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, cast
+
+from .scheduler import CalendarScheduler, Scheduler
 
 __all__ = [
     "Environment",
@@ -443,13 +450,22 @@ class AnyOf(Condition):
 
 
 class Environment:
-    """The simulation environment: clock plus event heap."""
+    """The simulation environment: clock plus pending-event scheduler."""
 
-    __slots__ = ("_now", "_heap", "_seq", "_active", "obs", "profile")
+    __slots__ = ("_now", "_sched", "_seq", "_active", "obs", "profile")
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
         self._now = float(initial_time)
-        self._heap: List[tuple] = []
+        #: Pending-event queue.  Any :class:`repro.sim.scheduler.Scheduler`
+        #: yields the identical simulation (total key order); the calendar
+        #: queue is the default because it scales to 1728-node clusters.
+        self._sched: Scheduler = (
+            scheduler if scheduler is not None else CalendarScheduler()
+        )
         self._seq = 0
         self._active: Optional[Process] = None
         #: Optional :class:`repro.obs.Recorder` hook, set by
@@ -500,23 +516,24 @@ class Environment:
         event._scheduled = True
         self._seq += 1
         # Priority events (interrupts) sort before normal events at the
-        # same timestamp by using a negative phase key.
+        # same timestamp via the phase key; seq breaks all remaining ties.
         phase = 0 if priority else 1
-        heapq.heappush(self._heap, (self._now + delay, phase, self._seq, event))
+        self._sched.push((self._now + delay, phase, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._sched.peek_time()
 
     def step(self) -> None:
         """Process one event: advance the clock and run its callbacks."""
-        if not self._heap:
-            raise SimulationError("no scheduled events")
-        when, _phase, _seq, event = heapq.heappop(self._heap)
+        try:
+            when, _phase, _seq, event = self._sched.pop()
+        except IndexError:
+            raise SimulationError("no scheduled events") from None
         self._now = when
         obs = self.obs
         if obs is not None:
-            obs.on_sim_step(len(self._heap))
+            obs.on_sim_step(len(self._sched))
         prof = self.profile
         if prof is not None:
             prof.on_event(event)
@@ -529,7 +546,7 @@ class Environment:
             raise event._value
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or the clock passes ``until``."""
+        """Run until the queue drains or the clock passes ``until``."""
         if until is not None:
             limit = float(until)
             if limit < self._now:
@@ -538,7 +555,8 @@ class Environment:
                 )
         else:
             limit = float("inf")
-        while self._heap and self._heap[0][0] <= limit:
+        sched = self._sched
+        while sched and sched.peek_time() <= limit:
             self.step()
         if until is not None and self._now < limit:
             self._now = limit

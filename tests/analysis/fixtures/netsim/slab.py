@@ -1,0 +1,27 @@
+"""Fixture standing in for the struct-of-arrays slab module.
+
+The path suffix ``netsim/slab.py`` is in the UNR009 scope: every
+(non-exception) class must be slotted.  ``LoosePool`` is the one
+expected finding; the slotted column store and the exception stay
+clean.
+"""
+
+
+class ColumnStore:
+    __slots__ = ("tx_free", "rx_free")
+
+    def __init__(self):
+        self.tx_free = []
+        self.rx_free = []
+
+
+class SlabExhaustedError(RuntimeError):
+    pass
+
+
+class LoosePool:
+    """Un-slotted hot-path class: flagged by UNR009 in this scope."""
+
+    def __init__(self, limit):
+        self.limit = limit
+        self.free = []

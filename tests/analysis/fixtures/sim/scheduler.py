@@ -1,0 +1,29 @@
+"""Fixture standing in for the pluggable scheduler module.
+
+The path suffix ``sim/scheduler.py`` is doubly sanctioned/scoped:
+``heapq`` use is allowed here (UNR004 ``heapq_allowed_suffixes``), and
+the UNR009 slots requirement applies — ``LooseQueue`` below is the one
+expected finding.
+"""
+
+import heapq
+
+
+class DayQueue:
+    __slots__ = ("_heap",)
+
+    def __init__(self):
+        self._heap = []
+
+    def push(self, day):
+        heapq.heappush(self._heap, day)
+
+    def pop(self):
+        return heapq.heappop(self._heap)
+
+
+class LooseQueue:
+    """Un-slotted scheduler class: flagged by UNR009 in this scope."""
+
+    def __init__(self):
+        self.entries = []

@@ -88,6 +88,23 @@ def test_unr009_flags_unslotted_hot_path_class_only():
     assert "HotRecord" in findings[0].message
 
 
+def test_unr009_scope_covers_scheduler_module():
+    # sim/scheduler.py is both heapq-sanctioned (UNR004) and in the
+    # UNR009 scope: the heapq import stays clean, the one un-slotted
+    # class is flagged.
+    findings = lint_fixture("sim/scheduler.py")
+    assert rules_of(findings) == ["UNR009"]
+    assert len(findings) == 1
+    assert "LooseQueue" in findings[0].message
+
+
+def test_unr009_scope_covers_slab_module():
+    findings = lint_fixture("netsim/slab.py")
+    assert rules_of(findings) == ["UNR009"]
+    assert len(findings) == 1
+    assert "LoosePool" in findings[0].message
+
+
 def test_unr010_flags_posts_with_no_reachable_wait():
     findings = lint_fixture("examples/bad_unr010.py")
     assert rules_of(findings) == ["UNR010"]

@@ -38,6 +38,21 @@ def _profile(sha, shares):
     }
 
 
+def _scaling(sha, wall_ms, nodes=1728, materialized=16):
+    return {
+        "schema": "repro.bench.scaling/1",
+        "name": "scaling_halo",
+        "platform": "th-xy",
+        "run": {"git_sha": sha},
+        "points": [
+            {"nodes": nodes // 2, "wall_ms": wall_ms / 2, "setup_ms": 1.0,
+             "nodes_materialized": materialized, "peak_rss_kb": 40_000},
+            {"nodes": nodes, "wall_ms": wall_ms, "setup_ms": 2.0,
+             "nodes_materialized": materialized, "peak_rss_kb": 48_000},
+        ],
+    }
+
+
 @pytest.fixture
 def artifacts(tmp_path):
     def write(name, record):
@@ -102,6 +117,33 @@ def test_thresholds_cover_throughput_floor_and_layer_share(artifacts):
     assert any("below" in f and "floor" in f for f in failures)
     assert any("layer 'obs'" in f for f in failures)
     assert check_thresholds(runs, max_share={"obs": 0.6}) == []
+
+
+def test_scaling_headline_is_the_largest_node_point(artifacts):
+    runs = load_runs([artifacts("s.json", _scaling("aaaaaaa", 30.0))])
+    metrics = runs[0]["metrics"]
+    assert runs[0]["series"] == "scaling"
+    assert metrics["max_nodes"] == 1728
+    assert metrics["wall_ms"] == 30.0  # the 1728-node point, not the 864 one
+    assert metrics["nodes_materialized"] == 16
+    assert metrics["peak_rss_kb"] == 48_000
+
+
+def test_scaling_wall_gate_fires_on_the_latest_run(artifacts):
+    runs = load_runs([
+        artifacts("s1.json", _scaling("aaaaaaa", 50_000.0)),
+        artifacts("s2.json", _scaling("bbbbbbb", 30.0)),
+    ])
+    # Latest run is within budget: the older blowout does not gate.
+    assert check_thresholds(runs, max_scaling_wall_ms=10_000.0) == []
+    runs = load_runs([
+        artifacts("s3.json", _scaling("aaaaaaa", 30.0)),
+        artifacts("s4.json", _scaling("bbbbbbb", 50_000.0)),
+    ])
+    failures = check_thresholds(runs, max_scaling_wall_ms=10_000.0)
+    assert len(failures) == 1
+    assert "at 1728 nodes" in failures[0]
+    assert "exceeds budget" in failures[0]
 
 
 def test_history_report_renders_and_fails_on_regression(artifacts):

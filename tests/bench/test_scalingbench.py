@@ -1,0 +1,117 @@
+"""``repro scaling-bench`` emitter tests: laziness of the node envelope,
+record shape, validator rejections and the CLI budget gate."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCALING_NODE_SERIES,
+    SCALING_SCHEMA,
+    scaling_bench,
+    scaling_point,
+    validate_scaling_bench,
+    validate_scaling_bench_file,
+    write_scaling_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def small_record():
+    # Tiny ladder so the suite stays fast; the workload (4-rank halo
+    # ring) is constant while the machine grows.
+    return scaling_bench("th-xy", nodes=[32, 64], neighborhood=4,
+                         size=4096, iters=2, seed=2024)
+
+
+def test_record_is_schema_valid(small_record):
+    assert validate_scaling_bench(small_record) == []
+    assert small_record["schema"] == SCALING_SCHEMA
+    assert small_record["name"] == "scaling_halo"
+    assert small_record["platform"] == "th-xy"
+    assert isinstance(small_record["run"]["git_sha"], str)
+    assert [p["nodes"] for p in small_record["points"]] == [32, 64]
+
+
+def test_cluster_is_materialized_lazily(small_record):
+    for point in small_record["points"]:
+        assert point["ranks_active"] == 4
+        # Only the active neighbourhood (plus nothing else) gets built.
+        assert point["nodes_materialized"] == 4
+        assert point["nodes_materialized"] < point["nodes"]
+        assert point["wall_ms"] > 0
+        assert point["puts"] >= 4 * 2  # one halo PUT per rank per iter
+
+
+def test_workload_is_constant_across_the_ladder(small_record):
+    first, second = small_record["points"]
+    assert first["tx_bytes"] == second["tx_bytes"]
+    assert first["puts"] == second["puts"]
+    assert first["sim_time_us"] == second["sim_time_us"]
+
+
+def test_default_series_is_the_figure7_ladder():
+    assert SCALING_NODE_SERIES == (288, 576, 1152, 1728)
+
+
+def test_point_rejects_bad_neighborhoods():
+    with pytest.raises(ValueError, match="even"):
+        scaling_point("th-xy", 32, neighborhood=3)
+    with pytest.raises(ValueError, match="exceeds n_nodes"):
+        scaling_point("th-xy", 8, neighborhood=16)
+
+
+def test_bench_rejects_series_beyond_the_platform():
+    with pytest.raises(ValueError, match="max_nodes"):
+        scaling_bench("th-xy", nodes=[100_000])
+
+
+def test_write_round_trips_through_file_validator(small_record, tmp_path):
+    path = write_scaling_bench(small_record, str(tmp_path / "BENCH_scaling.json"))
+    validate_scaling_bench_file(path)
+    with open(path) as fh:
+        assert json.load(fh) == small_record
+
+
+def test_validator_rejects_mutations(small_record):
+    def mutated(fn):
+        bad = json.loads(json.dumps(small_record))
+        fn(bad)
+        return validate_scaling_bench(bad)
+
+    assert mutated(lambda r: r.update(schema="nope/9"))
+    assert mutated(lambda r: r.update(platform=7))
+    assert mutated(lambda r: r.update(run={}))
+    assert mutated(lambda r: r.update(points=[]))
+    assert mutated(lambda r: r["points"][0].update(wall_ms=0))
+    assert mutated(lambda r: r["points"][0].update(puts=0))
+    assert mutated(lambda r: r["points"][0].update(nodes="many"))
+    # nodes must be strictly increasing across the ladder
+    assert mutated(lambda r: r["points"][1].update(nodes=32))
+    # materialized count can never exceed the machine size
+    assert mutated(lambda r: r["points"][0].update(nodes_materialized=1000))
+    assert mutated(lambda r: r["points"][0].update(peak_rss_kb=-5))
+    # peak_rss_kb is optional (None on hosts without the resource module)
+    ok = json.loads(json.dumps(small_record))
+    for point in ok["points"]:
+        point["peak_rss_kb"] = None
+    assert validate_scaling_bench(ok) == []
+    assert validate_scaling_bench([]) == ["scaling record must be an object"]
+
+
+def test_cli_emits_and_gates(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "BENCH_scaling.json"
+    rc = main(["scaling-bench", "--nodes", "32,64", "--neighborhood", "4",
+               "--size", "4096", "--iters", "2", "--out", str(out),
+               "--max-point-seconds", "30"])
+    assert rc == 0
+    validate_scaling_bench_file(str(out))
+    assert "materialized 4" in capsys.readouterr().out
+    # An absurd budget must trip the gate.
+    rc = main(["scaling-bench", "--nodes", "32", "--neighborhood", "4",
+               "--size", "4096", "--iters", "2", "--out", str(out),
+               "--max-point-seconds", "0.000001"])
+    assert rc == 1
+    assert "verdict FAILED" in capsys.readouterr().out

@@ -1,0 +1,163 @@
+"""Differential tests: CalendarScheduler must be pop-for-pop identical
+to the reference HeapScheduler.
+
+The kernel keys every entry with a unique ``(time, phase, seq)`` tuple,
+so the scheduler contract is an exact total order — not merely "sorted
+by time".  The Hypothesis drive below interleaves pushes and pops the
+way the kernel does (new entries never land before ``now``), across
+delay magnitudes chosen to exercise every calendar-queue regime:
+delay-0 cascades into the day being drained, sub-width packing, exact
+bucket boundaries, and far-future days.  The golden-corpus test then
+pins the other direction: swapping the kernel back onto the reference
+heap must leave all wire fingerprints bit-identical.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.core as sim_core
+from repro.bench.fingerprints import (
+    GOLDEN_PATH,
+    compare_corpus,
+    run_schedule,
+    run_schedule_observed,
+)
+from repro.sim import Environment
+from repro.sim.scheduler import (
+    DEFAULT_BUCKET_WIDTH,
+    CalendarScheduler,
+    HeapScheduler,
+)
+
+REPO_GOLDEN = GOLDEN_PATH
+
+# Delays spanning the interesting calendar regimes (seconds): zero,
+# sub-width, exactly one width, a few widths, and far future.
+DELAYS = [0.0, 1e-9, 2.5e-7, 1e-6, 3.3e-6, 1e-3]
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(DELAYS),      # delay from current time
+        st.booleans(),                # priority (phase 0) push?
+        st.integers(min_value=0, max_value=3),  # pops after the push
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def drive(sched, ops):
+    """Kernel-shaped drive: push at now+delay, pop advancing now."""
+    log = []
+    now = 0.0
+    seq = 0
+    for delay, priority, npops in ops:
+        seq += 1
+        sched.push((now + delay, 0 if priority else 1, seq, f"ev{seq}"))
+        for _ in range(npops):
+            if not sched:
+                break
+            log.append(("peek", sched.peek_time()))
+            entry = sched.pop()
+            now = entry[0]
+            log.append(entry)
+    # Drain whatever is left, logging peeks too.
+    while sched:
+        log.append(("peek", sched.peek_time()))
+        log.append(sched.pop())
+    log.append(("empty-peek", sched.peek_time()))
+    return log
+
+
+@settings(max_examples=300, deadline=None)
+@given(ops=ops_strategy)
+def test_calendar_matches_heap_pop_for_pop(ops):
+    assert drive(CalendarScheduler(), ops) == drive(HeapScheduler(), ops)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=ops_strategy,
+    width=st.sampled_from([1e-9, 1e-7, DEFAULT_BUCKET_WIDTH, 1e-3, 10.0]),
+)
+def test_calendar_matches_heap_for_any_width(ops, width):
+    # Degenerate widths (everything in one day / every entry its own
+    # day) must degrade performance only, never order.
+    assert drive(CalendarScheduler(width), ops) == drive(HeapScheduler(), ops)
+
+
+def test_push_earlier_day_between_runs():
+    # After a drain past day N, a top-level push can land on an earlier
+    # day than the promoted one (env.run(); env.schedule(small delay);
+    # env.run()).  The entry must still come out first.
+    sched = CalendarScheduler(width=1e-6)
+    sched.push((5e-6, 1, 1, "a"))  # day 5
+    assert sched.pop()[3] == "a"
+    assert sched.peek_time() == float("inf")
+    # now=5e-6 in the kernel; a delay-0 push lands on day 5 again while
+    # _cur_day is 5 — the "earlier or same day after promotion" path.
+    sched.push((5e-6, 1, 2, "b"))
+    sched.push((5.2e-6, 1, 3, "c"))  # same day, later time
+    sched.push((12e-6, 1, 4, "d"))  # later day
+    assert [sched.pop()[3] for _ in range(3)] == ["b", "c", "d"]
+    with pytest.raises(IndexError):
+        sched.pop()
+
+
+def test_len_and_bool_track_content():
+    sched = CalendarScheduler()
+    assert not sched and len(sched) == 0
+    for i in range(5):
+        sched.push((i * 1e-6, 1, i, None))
+    assert len(sched) == 5 and sched
+    sched.pop()
+    assert len(sched) == 4
+    while sched:
+        sched.pop()
+    assert len(sched) == 0
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(ValueError):
+        CalendarScheduler(width=0.0)
+    with pytest.raises(ValueError):
+        CalendarScheduler(width=-1e-6)
+
+
+def test_environment_accepts_explicit_scheduler():
+    fired = []
+
+    def proc(env):
+        yield env.timeout(1.0)
+        fired.append(env.now)
+
+    for sched in (HeapScheduler(), CalendarScheduler()):
+        env = Environment(scheduler=sched)
+        env.process(proc(env))
+        env.run()
+    assert fired == [1.0, 1.0]
+
+
+# -- corpus-level identity ----------------------------------------------------
+
+def test_golden_corpus_identical_under_reference_heap(monkeypatch):
+    """The strongest end-to-end pin: running the full golden corpus with
+    the kernel forced back onto the reference heap must reproduce every
+    recorded fingerprint — i.e. the calendar queue changed nothing."""
+    monkeypatch.setattr(sim_core, "CalendarScheduler", HeapScheduler)
+    problems = compare_corpus()
+    assert problems == [], "\n".join(problems)
+
+
+def test_armed_and_disarmed_runs_agree_on_new_kernel():
+    # Observation must stay behavior-neutral under the calendar kernel.
+    with open(REPO_GOLDEN) as fh:
+        corpus = json.load(fh)
+    key, golden = sorted(corpus["entries"].items())[0]
+    platform, schedule = key.split("/")
+    plain = run_schedule(platform, schedule)
+    observed, _rec = run_schedule_observed(platform, schedule)
+    assert plain == observed == golden
