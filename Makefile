@@ -4,7 +4,8 @@
 #                      pytest configuration, what CI gates on)
 #   make test-all    - the full suite including the fault/stress soaks
 #   make test-slow   - only the slow soaks
-#   make test-chaos  - fault-domain resilience soak + BENCH_resilience.json
+#   make test-chaos  - fault-domain resilience soak (degradation + the
+#                      replication warm-failover leg) + BENCH_resilience.json
 #   make demo-faults - the fault-injection acceptance demo
 #   make trace       - observed trace demo: Perfetto JSON + bench record
 #   make bench-engine - unified-engine datapath micro-benchmark (gated)
@@ -45,6 +46,8 @@ test-slow:
 test-chaos:
 	$(PYTEST) -q -m chaos
 	$(REPRO) chaos --out BENCH_resilience.json
+	$(REPRO) bench-report BENCH_resilience.json \
+		--max-failover-ttr-us 500 --max-replication-overhead 1.5
 
 demo-faults:
 	PYTHONPATH=src $(PYTHON) -m repro faults

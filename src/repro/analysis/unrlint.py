@@ -52,6 +52,9 @@ UNR012  wall-clock sources anywhere outside ``obs/profile.py`` — the
         host-time profiler is the ONE sanctioned wall-clock user;
         everything else reads ``env.now`` or routes through
         ``repro.obs.profile.host_clock_ns``
+UNR013  iteration over an unsorted dict/set of replica/team state that
+        selects a promotion target — hash order would decide the
+        leader, so warm failover stops replaying deterministically
 ======= ==============================================================
 
 UNR005 covers ``except Exception``, bare ``except`` *and*
@@ -187,6 +190,13 @@ RULES: Dict[str, Rule] = {
             "repro.obs.profile.host_clock_ns / HostProfiler, or use "
             "env.now if you meant simulated time",
         ),
+        Rule(
+            "UNR013",
+            "unordered replica/team iteration picks a promotion target",
+            "sort the candidate set first (sorted(team.live)) and break "
+            "ties on rank id — leader election must pick the same "
+            "replica on every replay of the same failure",
+        ),
     )
 }
 
@@ -321,6 +331,18 @@ _WALLCLOCK_TIME_FUNCS = {
 _WALLCLOCK_DT_FUNCS = {"now", "utcnow", "today"}
 
 _SCHEDULE_SINKS = {"schedule", "_schedule", "heappush"}
+
+#: identifier substrings marking replica/team membership state (the
+#: candidate pool a warm failover promotes from) — UNR013.
+_TEAM_STATE_TOKENS = (
+    "team", "replica", "mirror", "member", "live", "candidate",
+    "survivor",
+)
+
+#: identifier substrings marking a promotion / leader-election sink:
+#: a call or assignment target with one of these names inside the loop
+#: body means the iteration order picks the new primary — UNR013.
+_PROMOTION_TOKENS = ("promot", "primary", "leader", "elect", "failover")
 
 #: CompletionQueue consumers (``cq.push`` is the producer and always
 #: fine; only *draining* is reserved to the progress engine).
@@ -519,7 +541,7 @@ class _Visitor(ast.NodeVisitor):
                 f"inside {where}",
             )
 
-    # -- UNR003 --------------------------------------------------------------
+    # -- UNR003 / UNR013 -----------------------------------------------------
     def visit_For(self, node: ast.For) -> None:
         reason = self._unordered_iterable(node.iter)
         if reason is not None:
@@ -530,7 +552,56 @@ class _Visitor(ast.NodeVisitor):
                     f"iterating {reason} feeds {sink}(): set/dict order is "
                     "not a deterministic event order",
                 )
+            if self._is_team_state(node.iter):
+                target = self._promotion_sink(node.body)
+                if target is not None:
+                    self._flag(
+                        "UNR013", node,
+                        f"iterating {reason} of replica/team state to "
+                        f"choose {target!r}: hash order decides the "
+                        "promotion target",
+                    )
         self.generic_visit(node)
+
+    def _is_team_state(self, node: ast.AST) -> bool:
+        """Does the iterable expression name replica/team membership?"""
+        for sub in ast.walk(node):
+            ident: Optional[str] = None
+            if isinstance(sub, ast.Name):
+                ident = sub.id
+            elif isinstance(sub, ast.Attribute):
+                ident = sub.attr
+            if ident is not None:
+                low = ident.lower()
+                if any(tok in low for tok in _TEAM_STATE_TOKENS):
+                    return True
+        return False
+
+    def _promotion_sink(self, body: Sequence[ast.stmt]) -> Optional[str]:
+        """First promotion-flavoured call or assignment target in ``body``."""
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    tail = _attr_tail(sub.func)
+                    name = tail[-1] if tail else (
+                        sub.func.id if isinstance(sub.func, ast.Name) else ""
+                    )
+                    if name and any(t in name.lower() for t in _PROMOTION_TOKENS):
+                        return name
+                elif isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                    )
+                    for tgt in targets:
+                        for n in ast.walk(tgt):
+                            nm: Optional[str] = None
+                            if isinstance(n, ast.Name):
+                                nm = n.id
+                            elif isinstance(n, ast.Attribute):
+                                nm = n.attr
+                            if nm and any(t in nm.lower() for t in _PROMOTION_TOKENS):
+                                return nm
+        return None
 
     def _unordered_iterable(self, node: ast.AST) -> Optional[str]:
         if isinstance(node, (ast.Set, ast.SetComp)):

@@ -28,8 +28,11 @@ __all__ = ["DEFAULT_FAULTS", "fault_demo"]
 DEFAULT_FAULTS = "drop=0.3,reorder=0.2,rail_fail@t=5.0"
 
 
-def _producer_consumer(unr, job, *, size: int, iters: int) -> Dict:
-    """Rank 0 streams ``iters`` buffers to rank 1; rank 1 verifies each."""
+def _producer_consumer(unr, job, *, size: int, iters: int, ranks=None) -> Dict:
+    """Rank 0 streams ``iters`` buffers to rank 1; rank 1 verifies each.
+
+    ``ranks`` restricts which physical ranks run the program (the
+    replication tier's logical world); ``None`` runs every rank."""
     out = {"received": 0, "correct": 0}
 
     def pattern(it: int) -> np.ndarray:
@@ -66,7 +69,7 @@ def _producer_consumer(unr, job, *, size: int, iters: int) -> Dict:
                 yield from ep.send_ctl(0, "go", tag="credit")
         return ctx.env.now
 
-    times = run_job(job, program)
+    times = run_job(job, program, ranks=ranks)
     out["time"] = max(times)
     return out
 

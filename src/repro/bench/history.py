@@ -47,6 +47,7 @@ KNOWN_SCHEMAS = {
     "repro.bench.engine/1": "engine",
     "repro.obs.bench/1": "obs",
     "repro.bench.resilience/1": "resilience",
+    "repro.bench.resilience/2": "resilience",
     "repro.bench.profile/1": "profile",
     "repro.bench.scaling/1": "scaling",
 }
@@ -95,6 +96,18 @@ def _extract_resilience(record: Dict[str, Any]) -> Dict[str, float]:
         for run in plat.get("runs", []):
             degraded += float(run.get("degraded_ops", 0))
     metrics["degraded_ops"] = degraded
+    # schema /2 carries the replication-tier leg ("replication": null
+    # when the leg was skipped; absent entirely in /1 records).
+    rep = record.get("replication")
+    if isinstance(rep, dict):
+        overhead = _num(rep.get("overhead_ratio"))
+        if overhead is not None:
+            metrics["replication_overhead_ratio"] = overhead
+        ttr = _num(rep.get("p95_failover_ttr_us"))
+        if ttr is not None:
+            metrics["p95_failover_ttr_us"] = ttr
+        if "divergence_ok" in rep:
+            metrics["divergence_ok"] = 1.0 if rep["divergence_ok"] else 0.0
     return metrics
 
 
@@ -150,6 +163,7 @@ _EXTRACTORS = {
     "repro.bench.engine/1": _extract_engine,
     "repro.obs.bench/1": _extract_obs,
     "repro.bench.resilience/1": _extract_resilience,
+    "repro.bench.resilience/2": _extract_resilience,
     "repro.bench.profile/1": _extract_profile,
     "repro.bench.scaling/1": _extract_scaling,
 }
@@ -193,7 +207,8 @@ def _series_key(run: Dict[str, Any]) -> Tuple[str, str, str]:
 _HEADLINES = {
     "engine": ("events_per_put", "put_ops_per_sim_sec"),
     "obs": ("sim_events", "transfers", "t_end_us"),
-    "resilience": ("correct", "identical", "degraded_ops"),
+    "resilience": ("correct", "identical", "degraded_ops",
+                   "replication_overhead_ratio", "p95_failover_ttr_us"),
     "profile": ("wall_ms", "coverage", "share.engine", "overhead_ratio"),
     "scaling": ("max_nodes", "wall_ms", "nodes_materialized", "peak_rss_kb"),
 }
@@ -259,6 +274,8 @@ def check_thresholds(
     min_ops_per_sim_sec: Optional[float] = None,
     max_share: Optional[Dict[str, float]] = None,
     max_scaling_wall_ms: Optional[float] = None,
+    max_failover_ttr_us: Optional[float] = None,
+    max_replication_overhead: Optional[float] = None,
 ) -> List[str]:
     """Regression gates over the **latest** run of each series.
 
@@ -304,9 +321,23 @@ def check_thresholds(
                     f"exceeds budget {max_scaling_wall_ms:.1f}"
                 )
         if run["series"] == "resilience":
-            for verdict in ("correct", "identical"):
+            for verdict in ("correct", "identical", "divergence_ok"):
                 if metrics.get(verdict) == 0.0:
                     failures.append(f"{where}: resilience verdict {verdict!r} is False")
+            ttr = metrics.get("p95_failover_ttr_us")
+            if (max_failover_ttr_us is not None and ttr is not None
+                    and ttr > max_failover_ttr_us):
+                failures.append(
+                    f"{where}: p95 failover TTR {ttr:.1f}us exceeds "
+                    f"budget {max_failover_ttr_us:.1f}us"
+                )
+            overhead = metrics.get("replication_overhead_ratio")
+            if (max_replication_overhead is not None and overhead is not None
+                    and overhead > max_replication_overhead):
+                failures.append(
+                    f"{where}: replication overhead {overhead:.3f}x exceeds "
+                    f"cap {max_replication_overhead:.3f}x"
+                )
     return failures
 
 
@@ -318,6 +349,8 @@ def history_report(
     min_ops_per_sim_sec: Optional[float] = None,
     max_share: Optional[Dict[str, float]] = None,
     max_scaling_wall_ms: Optional[float] = None,
+    max_failover_ttr_us: Optional[float] = None,
+    max_replication_overhead: Optional[float] = None,
 ) -> Tuple[str, List[str]]:
     """Load, render and gate; returns ``(report_text, failures)``."""
     runs = load_runs(paths)
@@ -332,6 +365,8 @@ def history_report(
         min_ops_per_sim_sec=min_ops_per_sim_sec,
         max_share=max_share,
         max_scaling_wall_ms=max_scaling_wall_ms,
+        max_failover_ttr_us=max_failover_ttr_us,
+        max_replication_overhead=max_replication_overhead,
     )
     if failures:
         out.append("")

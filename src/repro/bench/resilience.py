@@ -29,8 +29,8 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..core import Unr
-from ..netsim import FaultInjector, FaultSpec, MessageTrace
+from ..core import ReplicationConfig, Unr
+from ..netsim import FaultInjector, FaultSpec, MessageTrace, NodeCrash
 from ..platforms import PLATFORMS, get_platform, make_job
 from .faultdemo import _producer_consumer
 
@@ -43,7 +43,11 @@ __all__ = [
     "validate_resilience_bench_file",
 ]
 
-RESILIENCE_SCHEMA = "repro.bench.resilience/1"
+RESILIENCE_SCHEMA = "repro.bench.resilience/2"
+
+#: simulated time at which the replication leg kills the consumer's
+#: primary node (mid-stream on every Table III platform).
+REPLICATION_CRASH_US = 120.0
 
 #: the PR 1 stress noise plus an endpoint-down window on the consumer:
 #: every rail of node 1 goes dark at t=40us and recovers at t=290us (the
@@ -98,6 +102,102 @@ def _one_run(
     return result
 
 
+def _one_replicated_run(
+    *,
+    platform: str,
+    team_size: int,
+    size: int,
+    iters: int,
+    seed: int,
+    crash_us: Optional[float],
+) -> Dict[str, Any]:
+    """One producer→consumer stream on a replicated 2x``team_size``-node
+    job; ``crash_us`` kills the consumer's primary node mid-stream."""
+    plat = get_platform(platform)
+    job = make_job(platform, 2 * team_size, seed=seed)
+    if crash_us is not None:
+        FaultInjector.attach(
+            job.cluster,
+            FaultSpec(node_crashes=(NodeCrash(crash_us, node=1),)),
+        )
+    unr = Unr(job, plat.channel, reliability=True, health=True,
+              replication=ReplicationConfig(team_size=team_size))
+    rep = unr.replication
+    result = _producer_consumer(unr, job, size=size, iters=iters,
+                                ranks=rep.world.app_ranks)
+    result.update(
+        failovers=int(unr.stats.get("replication_failovers", 0)),
+        shadow_ops=int(unr.stats.get("replication_shadow_ops", 0)),
+        tokens_replayed=int(unr.stats.get("replication_tokens_replayed", 0)),
+        heartbeats=int(unr.stats.get("replication_heartbeats", 0)),
+        divergence_ok=rep.divergence_ok(),
+        failover_log=[dict(rec) for rec in rep.failover_log],
+    )
+    return result
+
+
+def _replication_block(
+    platform: str,
+    *,
+    team_size: int,
+    size: int,
+    iters: int,
+    seed: int,
+    crash_us: float,
+) -> Dict[str, Any]:
+    """Replication overhead + warm-failover metrics for one platform.
+
+    The overhead ratio compares the replicated healthy stream against
+    an unreplicated baseline on the *same* cluster size (the extra cost
+    is shadow traffic + heartbeats, not topology).  The crash leg runs
+    the same seeded schedule twice; per-crash TTRs come from the
+    :attr:`~repro.core.replication.ReplicationManager.failover_log`.
+    """
+    plat = get_platform(platform)
+    base_job = make_job(platform, 2 * team_size, seed=seed)
+    base_unr = Unr(base_job, plat.channel, reliability=True, health=True)
+    baseline = _producer_consumer(base_unr, base_job, size=size, iters=iters,
+                                  ranks=[0, 1])
+    healthy = _one_replicated_run(
+        platform=platform, team_size=team_size, size=size, iters=iters,
+        seed=seed, crash_us=None,
+    )
+    crash_runs = [
+        _one_replicated_run(
+            platform=platform, team_size=team_size, size=size, iters=iters,
+            seed=seed, crash_us=crash_us,
+        )
+        for _ in range(2)
+    ]
+    ttrs = sorted(rec["ttr_us"] for rec in crash_runs[0]["failover_log"])
+    return {
+        "baseline_time_us": baseline["time"] * 1e6,
+        "replicated_time_us": healthy["time"] * 1e6,
+        "overhead_ratio": (
+            healthy["time"] / baseline["time"] if baseline["time"] > 0 else 0.0
+        ),
+        "healthy": {
+            "correct": healthy["correct"] == iters,
+            "shadow_ops": healthy["shadow_ops"],
+            "heartbeats": healthy["heartbeats"],
+            "divergence_ok": healthy["divergence_ok"],
+        },
+        "crash": {
+            "runs": crash_runs,
+            "correct": all(r["correct"] == iters for r in crash_runs),
+            "identical": crash_runs[0]["failover_log"] == crash_runs[1]["failover_log"],
+            "failovers": crash_runs[0]["failovers"],
+            "divergence_ok": all(r["divergence_ok"] for r in crash_runs),
+            "ttr_us": {
+                "p50": _percentile(ttrs, 0.50),
+                "p95": _percentile(ttrs, 0.95),
+                "max": ttrs[-1] if ttrs else 0.0,
+                "n": len(ttrs),
+            },
+        },
+    }
+
+
 def resilience_bench(
     platforms: Optional[Sequence[str]] = None,
     *,
@@ -107,8 +207,17 @@ def resilience_bench(
     iters: int = 32,
     seed: int = 2024,
     fault_seed: int = 3,
+    replication: bool = True,
+    team_size: int = 2,
+    replication_crash_us: float = REPLICATION_CRASH_US,
 ) -> Dict[str, Any]:
-    """Run the chaos soak; returns the ``BENCH_resilience.json`` record."""
+    """Run the chaos soak; returns the ``BENCH_resilience.json`` record.
+
+    ``replication=True`` (the default) adds the warm-failover leg: per
+    platform, an unreplicated baseline, a healthy replicated stream
+    (overhead ratio) and two seeded node-crash runs (per-crash TTR,
+    determinism, divergence verdicts).
+    """
     if platforms is None:
         platforms = list(PLATFORMS)
     spec = FaultSpec.parse(faults, seed=fault_seed)
@@ -125,16 +234,55 @@ def resilience_bench(
             "correct": all(r["correct"] == iters for r in runs),
             "degraded": all(r["degraded_ops"] > 0 for r in runs),
         }
+    rep_block: Optional[Dict[str, Any]] = None
+    if replication:
+        rep_platforms = {
+            platform: _replication_block(
+                platform, team_size=team_size, size=size, iters=iters,
+                seed=seed, crash_us=replication_crash_us,
+            )
+            for platform in platforms
+        }
+        rep_block = {
+            "team_size": team_size,
+            "crash_us": replication_crash_us,
+            "platforms": rep_platforms,
+            "overhead_ratio": max(
+                b["overhead_ratio"] for b in rep_platforms.values()
+            ),
+            "p95_failover_ttr_us": max(
+                b["crash"]["ttr_us"]["p95"] for b in rep_platforms.values()
+            ),
+            "correct": all(
+                b["healthy"]["correct"] and b["crash"]["correct"]
+                for b in rep_platforms.values()
+            ),
+            "identical": all(
+                b["crash"]["identical"] for b in rep_platforms.values()
+            ),
+            "divergence_ok": all(
+                b["healthy"]["divergence_ok"] and b["crash"]["divergence_ok"]
+                for b in rep_platforms.values()
+            ),
+        }
+    verdicts = {
+        "correct": all(p["correct"] for p in per_platform.values()),
+        "identical": all(p["identical"] for p in per_platform.values()),
+    }
+    if rep_block is not None:
+        verdicts["correct"] = verdicts["correct"] and rep_block["correct"]
+        verdicts["identical"] = verdicts["identical"] and rep_block["identical"]
     return {
         "schema": RESILIENCE_SCHEMA,
         "name": "resilience_bench",
         "params": {
             "faults": faults, "n_nodes": n_nodes, "size": size,
             "iters": iters, "seed": seed, "fault_seed": fault_seed,
+            "replication": replication, "team_size": team_size,
         },
         "platforms": per_platform,
-        "correct": all(p["correct"] for p in per_platform.values()),
-        "identical": all(p["identical"] for p in per_platform.values()),
+        "replication": rep_block,
+        **verdicts,
     }
 
 
@@ -199,6 +347,61 @@ def validate_resilience_bench(record: Any) -> List[str]:
             n = ttr.get("n")
             if not isinstance(n, int) or isinstance(n, bool) or n < 0:
                 errors.append(f"{rw}.time_to_recover_us.n must be a non-negative integer")
+    errors.extend(_validate_replication_block(record))
+    return errors
+
+
+def _validate_replication_block(record: Dict[str, Any]) -> List[str]:
+    """Check the warm-failover leg (``None`` = leg explicitly skipped)."""
+    errors: List[str] = []
+    if "replication" not in record:
+        return ["replication must be present (an object, or null when skipped)"]
+    block = record["replication"]
+    if block is None:
+        return errors
+    if not isinstance(block, dict):
+        return ["replication must be an object or null"]
+    where = "replication"
+    team = block.get("team_size")
+    if not isinstance(team, int) or isinstance(team, bool) or team < 2:
+        errors.append(f"{where}.team_size must be an integer >= 2")
+    for key in ("overhead_ratio", "p95_failover_ttr_us"):
+        value = block.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+            errors.append(f"{where}.{key} must be a non-negative number")
+    for verdict in ("correct", "identical", "divergence_ok"):
+        if not isinstance(block.get(verdict), bool):
+            errors.append(f"{where}.{verdict} must be a boolean")
+    platforms = block.get("platforms")
+    if not isinstance(platforms, dict) or not platforms:
+        return errors + [f"{where}.platforms must be a non-empty object"]
+    for name, plat in platforms.items():
+        pw = f"{where}.platforms.{name}"
+        if not isinstance(plat, dict):
+            errors.append(f"{pw} must be an object")
+            continue
+        ratio = plat.get("overhead_ratio")
+        if not isinstance(ratio, (int, float)) or isinstance(ratio, bool) or ratio <= 0:
+            errors.append(f"{pw}.overhead_ratio must be a positive number")
+        crash = plat.get("crash")
+        if not isinstance(crash, dict):
+            errors.append(f"{pw}.crash must be an object")
+            continue
+        failovers = crash.get("failovers")
+        if not isinstance(failovers, int) or isinstance(failovers, bool) or failovers < 1:
+            errors.append(f"{pw}.crash.failovers must be a positive integer "
+                          "(the schedule must actually kill a primary)")
+        ttr = crash.get("ttr_us")
+        if not isinstance(ttr, dict):
+            errors.append(f"{pw}.crash.ttr_us must be an object")
+            continue
+        for key in ("p50", "p95", "max"):
+            value = ttr.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                errors.append(f"{pw}.crash.ttr_us.{key} must be a non-negative number")
+        n = ttr.get("n")
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            errors.append(f"{pw}.crash.ttr_us.n must be a positive integer")
     return errors
 
 

@@ -174,6 +174,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=int, default=32)
     p.add_argument("--seed", type=int, default=2024)
     p.add_argument("--fault-seed", type=int, default=3)
+    p.add_argument("--replication", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="include the replication-tier leg (warm-failover "
+                        "overhead + TTR; default: on)")
+    p.add_argument("--team-size", type=int, default=2, metavar="N",
+                   help="replicas per rank team for the replication leg "
+                        "(default: 2)")
     p.add_argument("--out", default="BENCH_resilience.json", metavar="PATH",
                    help="machine-readable resilience record output")
 
@@ -346,10 +353,18 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="MS",
                    help="fail when the latest scaling run's headline point "
                         "(largest node count) exceeds MS milliseconds")
+    p.add_argument("--max-failover-ttr-us", type=float, default=None,
+                   metavar="US",
+                   help="fail when the latest resilience run's p95 "
+                        "replication failover time-to-recover exceeds US")
+    p.add_argument("--max-replication-overhead", type=float, default=None,
+                   metavar="RATIO",
+                   help="fail when the latest resilience run's healthy "
+                        "replication overhead ratio exceeds RATIO (e.g. 1.15)")
 
     p = sub.add_parser(
         "lint",
-        help="unrlint: static determinism rules UNR001-UNR012 over Python sources",
+        help="unrlint: static determinism rules UNR001-UNR013 over Python sources",
     )
     p.add_argument("paths", nargs="*", default=["src/repro"],
                    help="files or directories to lint (default: src/repro)")
@@ -598,6 +613,7 @@ def cmd_chaos(args) -> int:
     record = resilience_bench(
         args.platforms, faults=faults, size=args.size, iters=args.iters,
         seed=args.seed, fault_seed=args.fault_seed,
+        replication=args.replication, team_size=args.team_size,
     )
     errors = validate_resilience_bench(record)
     if errors:
@@ -614,6 +630,19 @@ def cmd_chaos(args) -> int:
               f"recovered_ops={r['recovered_ops']} "
               f"repromotions={r['repromotions']} "
               f"ttr_p50={ttr['p50']:.1f}us")
+    rep = record.get("replication")
+    if rep is not None:
+        ttr = rep["p95_failover_ttr_us"]
+        print(f"  replication  team_size={rep['team_size']} "
+              f"overhead={rep['overhead_ratio']:.3f}x "
+              f"ttr_p95={ttr:.1f}us "
+              f"correct={'yes' if rep['correct'] else 'NO'} "
+              f"identical={'yes' if rep['identical'] else 'NO'} "
+              f"divergence={'ok' if rep['divergence_ok'] else 'SPLIT-BRAIN'}")
+        for name, block in rep["platforms"].items():
+            print(f"    {name:10s} overhead={block['overhead_ratio']:.3f}x "
+                  f"failovers={block['crash']['failovers']} "
+                  f"ttr_p95={block['crash']['ttr_us']['p95']:.1f}us")
     write_resilience_bench(record, args.out)
     print(f"  -> {args.out}")
     ok = record["correct"] and record["identical"]
@@ -930,6 +959,8 @@ def _bench_report(args, max_share, history_report, load_runs,
             min_ops_per_sim_sec=args.min_ops_per_sim_sec,
             max_share=max_share,
             max_scaling_wall_ms=args.max_scaling_wall_ms,
+            max_failover_ttr_us=args.max_failover_ttr_us,
+            max_replication_overhead=args.max_replication_overhead,
         )
     else:
         # Latest run per series only — the single-artifact summary view.
@@ -947,6 +978,8 @@ def _bench_report(args, max_share, history_report, load_runs,
             min_ops_per_sim_sec=args.min_ops_per_sim_sec,
             max_share=max_share,
             max_scaling_wall_ms=args.max_scaling_wall_ms,
+            max_failover_ttr_us=args.max_failover_ttr_us,
+            max_replication_overhead=args.max_replication_overhead,
         )
         report = render_trend(kept, fmt=args.format)
         if failures:

@@ -20,9 +20,11 @@ from .engine import (
     TransferOp,
 )
 from .errors import (
+    FailoverContext,
     OpContext,
     UnrDegradeWarning,
     UnrError,
+    UnrFailoverError,
     UnrOverflowError,
     UnrPeerDeadError,
     UnrSyncError,
@@ -31,6 +33,7 @@ from .errors import (
     UnrUsageError,
 )
 from .health import CircuitBreaker, HealthConfig, HealthMonitor
+from .replication import ReplicationConfig, ReplicationManager, TeamWorld
 from .levels import LevelPolicy, decode_custom, encode_custom, max_signals, policy_for_channel
 from .memory import Blk, MemoryRegion
 from .plan import PlannedOp, RmaPlan
@@ -51,6 +54,7 @@ __all__ = [
     "DEFAULT_N_BITS",
     "DEFAULT_STRIPE_THRESHOLD",
     "FALLBACK_RAIL",
+    "FailoverContext",
     "HealthConfig",
     "HealthMonitor",
     "LevelPolicy",
@@ -63,8 +67,11 @@ __all__ = [
     "PollingEngine",
     "ProgressEngine",
     "ReliabilityConfig",
+    "ReplicationConfig",
+    "ReplicationManager",
     "RmaPlan",
     "Signal",
+    "TeamWorld",
     "Stripe",
     "StripePlan",
     "TransferEngine",
@@ -73,6 +80,7 @@ __all__ = [
     "UnrDegradeWarning",
     "UnrEndpoint",
     "UnrError",
+    "UnrFailoverError",
     "UnrOverflowError",
     "UnrPeerDeadError",
     "UnrSyncError",

@@ -57,6 +57,7 @@ from .errors import (
 from .levels import LevelPolicy, decode_custom, max_signals, policy_for_channel
 from .memory import Blk, MemoryRegion
 from .polling import PollingConfig
+from .replication import ReplicationConfig, ReplicationManager
 from .signal import DEFAULT_N_BITS, Signal
 from .transport import DEFAULT_STRIPE_THRESHOLD, ReliabilityConfig
 
@@ -136,6 +137,24 @@ class Unr:
         (the default) reads the ``UNR_HEALTH`` environment variable.
         Healthy armed runs are trace-fingerprint-identical to disarmed
         ones (the breakers are passive until something fails).
+    replication:
+        Arm the replication resilience tier
+        (:class:`~repro.core.replication.ReplicationManager`): physical
+        ranks are split into replica teams of
+        :attr:`~repro.core.replication.ReplicationConfig.team_size`, the
+        application runs on the logical primaries
+        (``unr.replication.world.app_ranks``), warm mirrors shadow every
+        op landing on a replicated rank, and heartbeat-driven failover
+        promotes the warmest mirror when a primary's node crashes —
+        instead of :class:`~repro.core.errors.UnrPeerDeadError` ending
+        the job.  ``True`` or a
+        :class:`~repro.core.replication.ReplicationConfig` arms it;
+        ``None`` (the default) reads the ``UNR_REPLICATION`` environment
+        variable.  Requires ``reliability`` (ledger replay and failover
+        parking ride on idempotence tokens) and auto-arms ``health``.
+        Unreplicated runs never touch this layer: every engine hook is
+        behind an ``is None`` check, keeping the golden fingerprint
+        corpus bit-identical.
     """
 
     def __init__(
@@ -154,6 +173,7 @@ class Unr:
         sanitize: Optional[bool] = None,
         observe: Union[Recorder, bool, None] = None,
         health: Union[HealthConfig, bool, None] = None,
+        replication: Union[ReplicationConfig, bool, None] = None,
         coalesce: bool = True,
         zero_copy: bool = False,
         stripe_mtu: Optional[int] = None,
@@ -259,6 +279,20 @@ class Unr:
                 lambda: {f"core.{k}": float(stats[k]) for k in sorted(stats)}
             )
 
+        if replication is None:
+            replication = os.environ.get("UNR_REPLICATION", "").lower() in (
+                "1", "true", "yes", "on",
+            )
+        if replication is True:
+            replication = ReplicationConfig()
+        elif replication is False:
+            replication = None
+        self._replication_config: Optional[ReplicationConfig] = replication
+        #: replication resilience tier; armed at the end of __init__ so
+        #: the manager sees the fully-built library.  None on the
+        #: unreplicated path — every hook checks that first.
+        self.replication: Optional[ReplicationManager] = None
+
         if health is None:
             health = os.environ.get("UNR_HEALTH", "").lower() in (
                 "1", "true", "yes", "on",
@@ -267,6 +301,10 @@ class Unr:
             health = HealthConfig()
         elif health is False:
             health = None
+        if health is None and replication is not None:
+            # Replication rides on the health layer (heartbeat ledger,
+            # fail-stop predicate, degradation ladder): auto-arm it.
+            health = HealthConfig()
         self.health: Optional[HealthMonitor] = (
             HealthMonitor(self, health) if health is not None else None
         )
@@ -288,6 +326,9 @@ class Unr:
                     eng.register(kind, self._handle_rma_record)
                 eng.register("ctrl", self._handle_ctrl_record)
                 self.engines.append(eng)
+
+        if self._replication_config is not None:
+            self.replication = ReplicationManager(self, self._replication_config)
 
     # ------------------------------------------------------------------
     def _resolve_polling(self, polling: Union[PollingConfig, str, None]) -> PollingConfig:
@@ -325,6 +366,8 @@ class Unr:
             self._sid_next[node] += 1
         sig = Signal(self.env, sid, num_event, n_bits=self.n_bits, owner_rank=rank)
         self._sig_tables[node][sid] = sig
+        if self.replication is not None:
+            self.replication.on_sig_init(sig)
         if self.obs is not None:
             self.obs.record_proto(
                 "sig_init", rank=rank, node=node, sid=sid, num_event=num_event,
@@ -352,6 +395,8 @@ class Unr:
             raise UnrUsageError(
                 f"signal {sig.sid} is not registered (double free?)"
             )
+        if self.replication is not None:
+            self.replication.on_sig_free(sig)
         del self._sig_tables[node][sig.sid]
         sig.armed = False
         self._sid_free[node].append(sig.sid)
@@ -436,6 +481,8 @@ class Unr:
         if self.sanitizer is not None:
             self.sanitizer.on_mem_reg(mr)
         self._mrs[(rank, handle)] = mr
+        if self.replication is not None:
+            self.replication.on_mem_reg(mr)
         return mr
 
     def _mr_of(self, blk: Blk) -> MemoryRegion:
@@ -524,7 +571,12 @@ class UnrEndpoint:
         self.rank = rank
         self.env = unr.env
         self.job = unr.job
-        self.node_index = unr._node_index(rank)
+
+    @property
+    def node_index(self) -> int:
+        """Current node index of this rank — resolved at use time so a
+        replication failover transparently re-points the endpoint."""
+        return self.unr._node_index(self.rank)
 
     # -- registration --------------------------------------------------------
     def mem_reg(self, array: np.ndarray) -> MemoryRegion:
@@ -571,7 +623,10 @@ class UnrEndpoint:
             if self.unr._node_index(signal.owner_rank) != self.node_index:
                 raise UnrUsageError("signal must live on the caller's node")
             sid = signal.sid
-        return Blk(rank=self.rank, mr_handle=mr.handle, offset=offset, size=size, signal_sid=sid)
+        blk = Blk(rank=self.rank, mr_handle=mr.handle, offset=offset, size=size, signal_sid=sid)
+        if self.unr.replication is not None:
+            self.unr.replication.on_blk_init(blk)
+        return blk
 
     # -- signal operations ----------------------------------------------------
     def sig_reset(self, sig: Signal) -> None:
@@ -630,20 +685,61 @@ class UnrEndpoint:
         """Generator: send a small control object to ``dst_rank``.
 
         ``nbytes`` sets the on-the-wire size (defaults to a bare (p, a)
-        envelope; pass the payload size when shipping real data)."""
+        envelope; pass the payload size when shipping real data).
+
+        With the replication tier armed the send is made *reliable*: a
+        crash can destroy an ordered-lane frame in flight (fail-stop
+        loses the wire), so the sender re-posts on a fixed heartbeat
+        cadence until the first copy is delivered — each re-post
+        re-resolves the destination's placement, which is exactly what
+        re-targets the frame at the promoted node after a failover.
+        First delivery wins; late duplicates are dropped at the
+        callback, so the receiver's inbox sees the object once."""
+        rep = self.unr.replication
+        if rep is not None:
+            # Hold the send while the destination's team is mid-failover
+            # (no yields on the healthy path).
+            yield from rep.ctrl_gate(self.rank, dst_rank)
         inbox = self.unr._inbox[dst_rank]
         done = self.env.event()
         engine = self.unr.engine
-        engine.post_op(
-            engine.prepare_ctrl(
-                self.rank,
-                dst_rank,
-                payload=(self.rank, tag, obj),
-                on_deliver=lambda item: (inbox.put(item), done.succeed())[-1],
-                nbytes=max(nbytes, _CTRL_BYTES),
+
+        def deliver(item: Any) -> None:
+            if done.triggered:
+                return  # a retransmitted copy already landed
+            inbox.put(item)
+            done.succeed()
+
+        def post() -> None:
+            engine.post_op(
+                engine.prepare_ctrl(
+                    self.rank,
+                    dst_rank,
+                    payload=(self.rank, tag, obj),
+                    on_deliver=deliver,
+                    nbytes=max(nbytes, _CTRL_BYTES),
+                )
             )
-        )
-        yield done
+
+        post()
+        if rep is None:
+            yield done
+            return
+        # Replicated ctl sends retransmit on the heartbeat cadence (the
+        # warm-failover recovery path for control messages, deterministic
+        # fixed period; unreplicated runs never enter this loop).
+        period = rep.config.heartbeat_period_us * US
+        while not done.triggered:  # unrlint: disable=UNR008
+            yield self.env.any_of([done, self.env.timeout(period)])
+            if done.triggered:
+                break
+            if not (rep.covers(self.rank) or rep.covers(dst_rank)):
+                # No failover capacity left: keep the unreplicated
+                # semantics (the post below would raise peer-dead if the
+                # lane is gone for good).
+                pass
+            self.unr.stats["replication_ctrl_retransmits"] += 1
+            post()
 
     def recv_ctl(self, src_rank: int, tag: Any = None) -> Generator[Any, Any, Any]:
         """Generator: receive a control object from ``src_rank``."""

@@ -43,7 +43,13 @@ from typing import (
 from ..netsim import CompletionRecord, FragmentSlab, Node, alloc_record, recycle_record
 from ..sim import Environment
 from ..units import US
-from .errors import OpContext, UnrPeerDeadError, UnrTimeoutError, UnrUsageError
+from .errors import (
+    OpContext,
+    UnrFailoverError,
+    UnrPeerDeadError,
+    UnrTimeoutError,
+    UnrUsageError,
+)
 from .levels import LevelPolicy, encode_custom
 from .polling import PollingConfig
 from .signal import submessage_addends
@@ -457,15 +463,23 @@ class TransferEngine:
         op.n_posts += 1
         self._op_post_seq += 1
         opid = self._op_post_seq
-        if op.kind == "put":
-            return self._post_put(op, opid)
-        if op.kind == "get":
-            return self._post_get(op, opid)
         if op.kind == "ctrl":
             if op.ctrl_sid is not None:
                 return self._post_signal_ctrl(op, opid)
             return self._post_payload_ctrl(op, opid)
-        raise UnrUsageError(f"unknown transfer kind {op.kind!r}")
+        if op.kind == "put":
+            self._post_put(op, opid)
+        elif op.kind == "get":
+            self._post_get(op, opid)
+        else:
+            raise UnrUsageError(f"unknown transfer kind {op.kind!r}")
+        if unr.replication is not None:
+            # Replication tier: replay the same descriptor onto the live
+            # mirrors of the rank this op lands on (re-entrant shadow
+            # posts return immediately inside the manager).  Plan replays
+            # pass through here too, so replayed streams shadow as well.
+            unr.replication.on_op_posted(op)
+        return None
 
     def _post_put(self, op: TransferOp, opid: int = 0) -> None:
         unr = self.unr
@@ -864,6 +878,15 @@ class TransferEngine:
         if health is None:
             return
         if health.fallback_dead(op.src_rank, op.dst_rank):
+            rep = self.unr.replication
+            if rep is not None and (
+                rep.covers(op.dst_rank) or rep.covers(op.src_rank)
+            ):
+                # A replica team stands behind the dead endpoint: the
+                # post proceeds (blackholed by the crash) and the team's
+                # failover restores notification accounting.
+                self.unr.stats["replication_ctrl_to_dead"] += 1
+                return
             raise UnrPeerDeadError(
                 f"CTRL of {op.nbytes}B from rank {op.src_rank} to rank "
                 f"{op.dst_rank}: peer is dead (ordered/fallback lane down)",
@@ -889,6 +912,14 @@ class TransferEngine:
         if rail is not None:
             return rail
         if health.fallback_dead(op.src_rank, op.dst_rank):
+            rep = self.unr.replication
+            if rep is not None and (
+                rep.covers(op.dst_rank) or rep.covers(op.src_rank)
+            ):
+                # Replicated peer mid-failover: degrade instead of
+                # raising — the fragment's watchdog parks on the team's
+                # promotion and re-posts against the surviving node.
+                return FALLBACK_RAIL
             raise UnrPeerDeadError(
                 f"{what} of {nbytes}B from rank {op.src_rank} to rank "
                 f"{op.dst_rank}: peer is dead (no live RMA rail and the "
@@ -950,6 +981,12 @@ class TransferEngine:
     ) -> int:
         fid = self._frags.alloc(op, sp, delivered, rtok, ltok)
         self._inflight[fid] = None
+        rep = self.unr.replication
+        if rep is not None:
+            # Ledger the owed notification tokens (idempotent failover
+            # replay) and feed shadow deliveries to the quiesce tracker.
+            rep.note_fragment(fid, sp.remote_sig, rtok, sp.local_sig, ltok)
+            rep.on_shadow_fragment(delivered)
         return fid
 
     # -- drain / quiesce protocol -----------------------------------------
@@ -976,6 +1013,8 @@ class TransferEngine:
             if delivered is not None and delivered.triggered:
                 self._inflight.pop(fid, None)
                 frags.retire(fid)
+                if self.unr.replication is not None:
+                    self.unr.replication.on_fragment_retired(fid)
                 continue
             if health is None or not health.fallback_dead(op.src_rank, op.dst_rank):
                 continue
@@ -1006,6 +1045,8 @@ class TransferEngine:
         if op.ctrl_remote and op.rsid is not None and unr.sanitizer is not None:
             unr.sanitizer.on_fragment_drained(op.dst_node, op.rsid)
         frags.retire(fid)  # keeps the cancelled flag for stale watchdogs
+        if unr.replication is not None:
+            unr.replication.on_fragment_retired(fid)
         unr.stats["drained_fragments"] += 1
         if unr.obs is not None:
             unr.obs.count("health.drained_fragments")
@@ -1088,7 +1129,10 @@ class TransferEngine:
                 )
                 t = max(t, fb_base)
             attempts = [(_target_label(target), env.now / US)]
-            for attempt in range(rel.max_retries + 1):
+            attempt = 0
+            # This IS the sanctioned watchdog retry ladder (the loop
+            # UNR008 tells everyone else to route through).
+            while True:  # unrlint: disable=UNR008
                 yield env.any_of([delivered, env.timeout(t)])
                 if frag is not None and self._frags.is_cancelled(frag):
                     return  # drained: the op was quiesced against a dead peer
@@ -1098,30 +1142,72 @@ class TransferEngine:
                     if frag is not None:
                         self._inflight.pop(frag, None)
                         self._frags.retire(frag)
+                        if unr.replication is not None:
+                            unr.replication.on_fragment_retired(frag)
                     if attempt:
                         unr.stats["recovered_ops"] += 1
                     return
                 if health is not None and target != FALLBACK_RAIL:
                     health.on_timeout(src_rank, dst_rank, target)
-                if attempt == rel.max_retries:
-                    break
-                if health is None:
-                    target = self._live_rail(src_rank, dst_rank, target + 1)
-                else:
-                    probe_from = 0 if target == FALLBACK_RAIL else target + 1
-                    nxt = health.live_rail(src_rank, dst_rank, probe_from)
-                    if nxt is None:
-                        if health.fallback_dead(src_rank, dst_rank):
-                            break  # ladder exhausted: peer is fail-stop dead
-                        if target != FALLBACK_RAIL:
+                dead_end = attempt == rel.max_retries
+                if not dead_end:
+                    if health is None:
+                        target = self._live_rail(src_rank, dst_rank, target + 1)
+                    else:
+                        probe_from = 0 if target == FALLBACK_RAIL else target + 1
+                        nxt = health.live_rail(src_rank, dst_rank, probe_from)
+                        if nxt is None:
+                            if health.fallback_dead(src_rank, dst_rank):
+                                dead_end = True  # ladder exhausted: fail-stop
+                            else:
+                                if target != FALLBACK_RAIL:
+                                    health.on_degraded(src_rank, dst_rank, what)
+                                    fb_base = rel.fragment_timeout(
+                                        self._fallback_estimate(nbytes, round_trip)
+                                    )
+                                target = FALLBACK_RAIL
+                                t = max(t, fb_base)
+                        else:
+                            target = nxt
+                if dead_end:
+                    # Replication tier: when a replica team stands behind
+                    # the dead endpoint, park on its failover instead of
+                    # declaring the op lost — the fragment is either
+                    # cancelled by the failover's drain or gets a fresh
+                    # retry ladder against the promoted node.
+                    evt = None
+                    if unr.replication is not None:
+                        evt = unr.replication.failover_wait(src_rank, dst_rank)
+                    if evt is None:
+                        break
+                    unr.stats["failover_parks"] += 1
+                    attempts.append(("failover", env.now / US))
+                    try:
+                        yield evt
+                    except UnrFailoverError as fexc:
+                        # Refused failover (team exhausted / divergence):
+                        # surface in the blocked application frame.
+                        if self._fail_op_waiter(frag, fexc):
+                            return
+                        raise
+                    if frag is not None and self._frags.is_cancelled(frag):
+                        return  # drained during the failover
+                    attempt = 0
+                    if not delivered.triggered:
+                        nxt = health.live_rail(src_rank, dst_rank, 0)
+                        if nxt is None:
                             health.on_degraded(src_rank, dst_rank, what)
                             fb_base = rel.fragment_timeout(
                                 self._fallback_estimate(nbytes, round_trip)
                             )
-                        target = FALLBACK_RAIL
-                        t = max(t, fb_base)
-                    else:
-                        target = nxt
+                            target = FALLBACK_RAIL
+                            t = max(base, fb_base)
+                        else:
+                            target = nxt
+                            t = base
+                        attempts.append((_target_label(target), env.now / US))
+                        post(target)
+                    continue
                 unr.stats["retransmits"] += 1
                 if unr.obs is not None:
                     unr.obs.event(
@@ -1131,6 +1217,7 @@ class TransferEngine:
                 attempts.append((_target_label(target), env.now / US))
                 post(target)
                 t = min(t * rel.backoff_factor, max(rel.max_backoff, base, fb_base))
+                attempt += 1
             unr.stats["reliability_failures"] += 1
             # NB: the fragment stays in ``_inflight`` — a later drain()
             # discharges its notification tokens against the dead peer.

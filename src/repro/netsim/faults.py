@@ -31,7 +31,15 @@ and subjects unordered RDMA traffic to a *fault schedule*:
   it delivers again; with the health layer armed the library raises
   :class:`~repro.core.errors.UnrPeerDeadError` instead of hanging;
 * **link_flap@t:down** — one rail oscillates: ``n`` cycles of ``down``
-  microseconds dead, then alive again, spaced ``period`` apart.
+  microseconds dead, then alive again, spaced ``period`` apart;
+* **partition@t:dur:a:b** — control-plane partition: for the window the
+  *ordered* lane (heartbeats, Level-0 control, BLK exchange, the MPI
+  fallback) drops every message crossing between node sets ``a`` and
+  ``b`` (``a=0+1:b=2+3``) while the unordered RDMA data rails stay up.
+  The replication tier's suspicion counters climb on the silenced
+  heartbeats, but promotion requires the fail-stop confirmation — this
+  is the false-positive scenario a K-missed-heartbeats detector must
+  survive.
 
 Determinism and replay
 ----------------------
@@ -64,6 +72,7 @@ __all__ = [
     "NodeCrash",
     "EndpointDown",
     "LinkFlap",
+    "Partition",
     "FaultSpec",
     "FaultInjector",
 ]
@@ -147,6 +156,30 @@ class LinkFlap:
 
 
 @dataclass(frozen=True)
+class Partition:
+    """Control-plane partition between node sets ``a`` and ``b``: from
+    ``time_us`` for ``duration_us`` every *ordered*-lane message crossing
+    the cut is dropped (heartbeats, control, fallback), while unordered
+    RDMA data traffic is untouched.  Membership is checked at delivery
+    time, so frames in flight when the partition opens are lost too."""
+
+    time_us: float
+    duration_us: float
+    a: Tuple[int, ...] = ()
+    b: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration_us <= 0.0:
+            raise ValueError(f"partition duration_us={self.duration_us} must be > 0")
+        if not self.a or not self.b:
+            raise ValueError("partition needs both node sets (a=..:b=..)")
+        if set(self.a) & set(self.b):
+            raise ValueError(
+                f"partition sets overlap: {sorted(set(self.a) & set(self.b))}"
+            )
+
+
+@dataclass(frozen=True)
 class FaultSpec:
     """One fault schedule.  Probabilities are per *fragment*; times are
     in microseconds of simulated time."""
@@ -163,6 +196,7 @@ class FaultSpec:
     node_crashes: Tuple[NodeCrash, ...] = ()
     endpoint_downs: Tuple[EndpointDown, ...] = ()
     link_flaps: Tuple[LinkFlap, ...] = ()
+    partitions: Tuple[Partition, ...] = ()
     seed: int = DEFAULT_FAULT_SEED
     #: link-level CRC: corrupted frames are discarded at the receiver
     #: (like real fabrics) instead of delivering garbage.
@@ -186,6 +220,7 @@ class FaultSpec:
             and not self.node_crashes
             and not self.endpoint_downs
             and not self.link_flaps
+            and not self.partitions
         )
 
     # ------------------------------------------------------------------
@@ -195,9 +230,10 @@ class FaultSpec:
         ``"drop=0.3,reorder=0.2,rail_fail@t=5.0,cq_stall@t=3:dur=10"``.
 
         Comma-separated tokens; event tokens (``rail_fail``, ``cq_stall``,
-        ``node_crash``, ``endpoint_down``, ``link_flap``) take
-        colon-separated options (``t``, ``dur``, ``node``, ``rail``,
-        ``down``, ``n``, ``period``).
+        ``node_crash``, ``endpoint_down``, ``link_flap``, ``partition``)
+        take colon-separated options (``t``, ``dur``, ``node``, ``rail``,
+        ``down``, ``n``, ``period``; ``partition`` takes ``+``-separated
+        node sets ``a``/``b``, e.g. ``partition@t=40:dur=100:a=0+1:b=2+3``).
         """
         kwargs: dict = {}
         rails: list = []
@@ -205,9 +241,11 @@ class FaultSpec:
         crashes: list = []
         downs: list = []
         flaps: list = []
+        cuts: list = []
         aliases = {"dup": "duplicate", "ordered": "fault_ordered"}
         event_tokens = (
-            "rail_fail@", "cq_stall@", "node_crash@", "endpoint_down@", "link_flap@",
+            "rail_fail@", "cq_stall@", "node_crash@", "endpoint_down@",
+            "link_flap@", "partition@",
         )
         for token in (t.strip() for t in text.split(",") if t.strip()):
             if token.startswith(event_tokens):
@@ -217,7 +255,10 @@ class FaultSpec:
                     k, _, v = part.partition("=")
                     if not v:
                         raise ValueError(f"bad fault option {part!r} in {token!r}")
-                    opts[k.strip()] = float(v)
+                    if name == "partition" and k.strip() in ("a", "b"):
+                        opts[k.strip()] = tuple(int(x) for x in v.split("+"))
+                    else:
+                        opts[k.strip()] = float(v)
                 try:
                     if name == "rail_fail":
                         rails.append(RailFailure(
@@ -242,6 +283,13 @@ class FaultSpec:
                             time_us=opts.pop("t"),
                             duration_us=opts.pop("dur"),
                             node=_opt_int(opts, "node"),
+                        ))
+                    elif name == "partition":
+                        cuts.append(Partition(
+                            time_us=opts.pop("t"),
+                            duration_us=opts.pop("dur"),
+                            a=tuple(opts.pop("a", ())),
+                            b=tuple(opts.pop("b", ())),
                         ))
                     else:
                         flaps.append(LinkFlap(
@@ -278,6 +326,7 @@ class FaultSpec:
             node_crashes=tuple(crashes),
             endpoint_downs=tuple(downs),
             link_flaps=tuple(flaps),
+            partitions=tuple(cuts),
             **kwargs,
         )
 
@@ -320,11 +369,22 @@ class FaultInjector:
             injectors = []
             cluster.fault_injectors = injectors
         injectors.append(self)
+        #: active partition windows: (start_s, end_s, set_a, set_b)
+        self._partitions: list = [
+            (
+                p.time_us * US,
+                (p.time_us + p.duration_us) * US,
+                frozenset(p.a),
+                frozenset(p.b),
+            )
+            for p in spec.partitions
+        ]
         self._schedule_rail_failures()
         self._schedule_cq_stalls()
         self._schedule_node_crashes()
         self._schedule_endpoint_downs()
         self._schedule_link_flaps()
+        self._schedule_partitions()
         # Wrap NICs as their nodes materialize (lazy cluster).  The hook
         # applies immediately to already-built nodes, so attaching the
         # injector before the Recorder keeps the fault wrapper innermost
@@ -468,6 +528,45 @@ class FaultInjector:
                 self.env.timeout(start + i * period).callbacks.append(flap_down)
                 self.env.timeout(start + i * period + down_dur).callbacks.append(flap_up)
 
+    def _schedule_partitions(self) -> None:
+        """Observability markers only — the cut itself is evaluated per
+        delivery against the time windows in ``self._partitions``."""
+        for p in self.spec.partitions:
+            start = max(p.time_us * US - self.env.now, 0.0)
+            dur = p.duration_us * US
+
+            def opened(_e, p=p):
+                self.stats["partitions"] += 1
+                obs = getattr(self.cluster, "obs", None)
+                if obs is not None:
+                    obs.event(
+                        "fault.partition", track="faults",
+                        a=list(p.a), b=list(p.b), dur_us=p.duration_us,
+                    )
+
+            def healed(_e, p=p):
+                self.stats["partitions_healed"] += 1
+                obs = getattr(self.cluster, "obs", None)
+                if obs is not None:
+                    obs.event(
+                        "fault.partition_heal", track="faults",
+                        a=list(p.a), b=list(p.b),
+                    )
+
+            self.env.timeout(start).callbacks.append(opened)
+            self.env.timeout(start + dur).callbacks.append(healed)
+
+    def _partitioned(self, src_node: int, dst_node: int) -> bool:
+        """Is the ordered lane between these nodes cut right now?"""
+        now = self.env.now
+        for start, end, a, b in self._partitions:
+            if start <= now < end and (
+                (src_node in a and dst_node in b)
+                or (src_node in b and dst_node in a)
+            ):
+                return True
+        return False
+
     def _schedule_cq_stalls(self) -> None:
         for cs in self.spec.cq_stalls:
             node_idx = cs.node if cs.node is not None else int(
@@ -549,6 +648,11 @@ class FaultInjector:
                 def ordered_deliver(data, _orig=on_deliver):
                     if nic.node.crashed or dst.node.crashed:
                         self.stats["ordered_killed"] += 1
+                        return
+                    if self._partitions and self._partitioned(
+                        nic.node.index, dst.node.index
+                    ):
+                        self.stats["partition_dropped"] += 1
                         return
                     if _orig is not None:
                         _orig(data)

@@ -32,6 +32,10 @@ class Job:
             raise ValueError(
                 f"n_ranks={self.n_ranks} out of range 1..{max_ranks}"
             )
+        #: rank -> node-index placement overrides (replication failover:
+        #: a promoted rank adopts its mirror's node).  Empty on the hot
+        #: path of every unreplicated run.
+        self._node_override: dict = {}
 
     @property
     def env(self) -> Environment:
@@ -39,7 +43,24 @@ class Job:
 
     def node_of(self, rank: int) -> Node:
         self._check(rank)
+        if self._node_override:
+            override = self._node_override.get(rank)
+            if override is not None:
+                return self.cluster.node(override)
         return self.cluster.node(rank // self.ranks_per_node)
+
+    def reassign_node(self, rank: int, node_index: int) -> None:
+        """Re-point ``rank`` onto another node (replication failover).
+
+        Every placement-derived decision — NIC selection, signal-table
+        node indices, fallback-lane liveness — re-resolves through
+        :meth:`node_of` / :meth:`nic_of` at use time, so one override
+        here transparently re-targets all future traffic of ``rank``.
+        """
+        self._check(rank)
+        if not 0 <= node_index < self.cluster.n_nodes:
+            raise ValueError(f"node {node_index} out of range")
+        self._node_override[rank] = node_index
 
     def local_index(self, rank: int) -> int:
         """Index of ``rank`` among the ranks of its node."""

@@ -1,0 +1,28 @@
+"""Fixture: hash-ordered leader election over replica/team state (UNR013 x3)."""
+
+
+def promote_first_alive(team):
+    # Set comprehension over team members: whichever replica hashes
+    # first becomes the new primary.
+    for member in {m for m in team.members if m.alive}:
+        team.promote(member)
+        break
+
+
+def pick_primary(live_replicas):
+    # Dict .keys() view of the live-replica table.
+    primary = None
+    for rank in live_replicas.keys():
+        primary = rank
+        break
+    return primary
+
+
+def elect(mirrors):
+    # set(...) around the mirror list, feeding an election call.
+    for candidate in set(mirrors):
+        return elect_leader(candidate)
+
+
+def elect_leader(candidate):
+    return candidate

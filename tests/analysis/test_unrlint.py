@@ -127,6 +127,13 @@ def test_unr012_flags_wallclock_everywhere_else():
     assert all("obs/profile.py" in f.message for f in findings)
 
 
+def test_unr013_flags_unordered_promotion_selection():
+    findings = lint_fixture("bad_unr013.py")
+    assert rules_of(findings) == ["UNR013"]
+    assert len(findings) == 3  # set comp, dict .keys() view, set(...)
+    assert all("promotion target" in f.message for f in findings)
+
+
 def test_unr012_scope_partition_is_exhaustive():
     # One wall-clock read, three locations, three rule ids: the
     # UNR002/UNR006/UNR012 partition covers every path in the repo.
@@ -170,6 +177,7 @@ def test_protocol_pass_is_scope_gated():
         "ok_unr009.py",  # un-slotted classes outside the UNR009 scope
         "examples/ok_unr010.py",  # every post has a reachable wait
         "examples/ok_unr011.py",  # guarded fan-out / pipelined / re-armed reuse
+        "ok_unr013.py",  # sorted candidates / order-insensitive aggregation
     ],
 )
 def test_clean_fixture(fixture):

@@ -53,6 +53,34 @@ def _scaling(sha, wall_ms, nodes=1728, materialized=16):
     }
 
 
+def _resilience(sha, *, overhead=1.02, ttr_p95=95.0, divergence_ok=True,
+                replication="block"):
+    rec = {
+        "schema": "repro.bench.resilience/2",
+        "name": "resilience_bench",
+        "run": {"git_sha": sha},
+        "correct": True,
+        "identical": True,
+        "platforms": {
+            "th-xy": {"runs": [{"degraded_ops": 40}, {"degraded_ops": 40}]},
+        },
+    }
+    if replication == "block":
+        rec["replication"] = {
+            "team_size": 2,
+            "overhead_ratio": overhead,
+            "p95_failover_ttr_us": ttr_p95,
+            "correct": True,
+            "identical": True,
+            "divergence_ok": divergence_ok,
+        }
+    elif replication == "null":
+        rec["replication"] = None
+    else:  # legacy /1-shaped record: no replication key at all
+        rec["schema"] = "repro.bench.resilience/1"
+    return rec
+
+
 @pytest.fixture
 def artifacts(tmp_path):
     def write(name, record):
@@ -157,6 +185,59 @@ def test_history_report_renders_and_fails_on_regression(artifacts):
     text, failures = history_report(paths)
     assert failures == []
     assert "regression gates: OK" in text
+
+
+def test_resilience_v2_extracts_replication_metrics(artifacts):
+    runs = load_runs([artifacts("r.json", _resilience("aaaaaaa"))])
+    metrics = runs[0]["metrics"]
+    assert runs[0]["series"] == "resilience"
+    assert metrics["replication_overhead_ratio"] == pytest.approx(1.02)
+    assert metrics["p95_failover_ttr_us"] == pytest.approx(95.0)
+    assert metrics["divergence_ok"] == 1.0
+    assert metrics["degraded_ops"] == 80.0
+    # Legacy /1 records and skipped legs trend without replication columns.
+    for name, kind in (("r1.json", "legacy"), ("rn.json", "null")):
+        run = load_runs([artifacts(name, _resilience("bbbbbbb",
+                                                     replication=kind))])[0]
+        assert run["series"] == "resilience"
+        assert "replication_overhead_ratio" not in run["metrics"]
+        assert "p95_failover_ttr_us" not in run["metrics"]
+
+
+def test_replication_gates_fire_on_the_latest_run(artifacts):
+    runs = load_runs([
+        artifacts("g1.json", _resilience("aaaaaaa", ttr_p95=500.0,
+                                         overhead=2.0)),
+        artifacts("g2.json", _resilience("bbbbbbb")),
+    ])
+    # Latest run is healthy: the older blowout does not gate.
+    assert check_thresholds(runs, max_failover_ttr_us=150.0,
+                            max_replication_overhead=1.15) == []
+    runs = load_runs([
+        artifacts("g3.json", _resilience("aaaaaaa")),
+        artifacts("g4.json", _resilience("bbbbbbb", ttr_p95=500.0,
+                                         overhead=2.0)),
+    ])
+    failures = check_thresholds(runs, max_failover_ttr_us=150.0,
+                                max_replication_overhead=1.15)
+    assert len(failures) == 2
+    assert any("p95 failover TTR 500.0us exceeds budget" in f
+               for f in failures)
+    assert any("replication overhead 2.000x exceeds cap" in f
+               for f in failures)
+    # Gates are inert on records without the replication leg.
+    legacy = load_runs([artifacts("g5.json",
+                                  _resilience("ccccccc", replication="null"))])
+    assert check_thresholds(legacy, max_failover_ttr_us=1.0,
+                            max_replication_overhead=1.0) == []
+
+
+def test_divergence_verdict_gates_unconditionally(artifacts):
+    runs = load_runs([
+        artifacts("d.json", _resilience("aaaaaaa", divergence_ok=False)),
+    ])
+    failures = check_thresholds(runs)
+    assert any("divergence_ok" in f for f in failures)
 
 
 def test_history_report_surfaces_unknown_schemas(artifacts):

@@ -61,3 +61,48 @@ def test_validator_rejects_malformed(record):
     bad_fp = json.loads(json.dumps(record))
     bad_fp["platforms"]["th-xy"]["runs"][1]["fingerprint"] = "short"
     assert any("fingerprint" in e for e in validate_resilience_bench(bad_fp))
+
+
+def test_replication_block_shape_and_verdicts(record):
+    rep = record["replication"]
+    assert rep is not None, "default chaos run must include the replication leg"
+    assert rep["team_size"] == 2
+    assert rep["correct"] and rep["identical"] and rep["divergence_ok"]
+    # Shadow traffic + heartbeats on a healthy run should cost percents,
+    # not multiples.
+    assert 1.0 <= rep["overhead_ratio"] < 1.5
+    assert rep["p95_failover_ttr_us"] > 0
+    block = rep["platforms"]["th-xy"]
+    assert block["healthy"]["shadow_ops"] > 0
+    assert block["healthy"]["heartbeats"] > 0
+    crash = block["crash"]
+    assert crash["failovers"] >= 1
+    assert crash["identical"], "crash-leg failover log must replay bit-identically"
+    assert crash["ttr_us"]["n"] >= 1
+    assert crash["ttr_us"]["max"] >= crash["ttr_us"]["p50"]
+    for run in crash["runs"]:
+        assert run["correct"] == run["received"]
+        assert run["failover_log"][0]["promoted_rank"] >= 0
+
+
+def test_replication_skip_records_null():
+    rec = resilience_bench(["th-xy"], iters=4, replication=False)
+    assert rec["replication"] is None
+    assert validate_resilience_bench(rec) == []
+
+
+def test_validator_rejects_malformed_replication(record):
+    missing = {k: v for k, v in record.items() if k != "replication"}
+    assert any("replication" in e for e in validate_resilience_bench(missing))
+    bad = json.loads(json.dumps(record))
+    bad["replication"]["team_size"] = 1
+    assert any("team_size" in e for e in validate_resilience_bench(bad))
+    bad = json.loads(json.dumps(record))
+    bad["replication"]["overhead_ratio"] = -0.5
+    assert any("overhead_ratio" in e for e in validate_resilience_bench(bad))
+    bad = json.loads(json.dumps(record))
+    bad["replication"]["divergence_ok"] = "yes"
+    assert any("divergence_ok" in e for e in validate_resilience_bench(bad))
+    bad = json.loads(json.dumps(record))
+    bad["replication"]["platforms"]["th-xy"]["crash"]["failovers"] = 0
+    assert any("failovers" in e for e in validate_resilience_bench(bad))

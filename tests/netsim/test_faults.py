@@ -21,6 +21,7 @@ from repro.netsim import (
     RailFailure,
     US,
 )
+from repro.netsim.faults import Partition
 from repro.sim import Environment
 
 
@@ -230,6 +231,55 @@ def test_fault_ordered_opt_in():
     assert hits == []
 
 
+def test_partition_drops_ordered_lane_between_sets_only():
+    # During the window, ordered (control-lane) frames crossing the cut
+    # are dropped; unordered (data-rail) frames and intra-set ordered
+    # frames pass.  After the heal, cross-set control traffic resumes.
+    env, cluster = make_cluster(n_nodes=4)
+    inj = FaultInjector.attach(cluster, FaultSpec(
+        partitions=(Partition(time_us=10.0, duration_us=100.0,
+                              a=(0, 1), b=(2, 3)),),
+    ))
+    hits = []
+
+    def post(t_us, src, dst, label, ordered):
+        def proc():
+            yield env.timeout(t_us * US)
+            cluster.nodes[src].nics[0].post_put(
+                cluster.nodes[dst].nics[0], 256,
+                on_deliver=lambda d: hits.append(label), ordered=ordered,
+            )
+        env.process(proc())
+
+    post(20.0, 0, 2, "cut-ordered", True)     # dropped: crosses the cut
+    post(20.0, 2, 0, "cut-reverse", True)     # dropped: cut is symmetric
+    post(20.0, 0, 1, "intra-ordered", True)   # same side: passes
+    post(20.0, 0, 2, "cut-data", False)       # data rail: passes
+    post(150.0, 0, 2, "healed-ordered", True)  # after heal: passes
+    env.run()
+    assert sorted(hits) == ["cut-data", "healed-ordered", "intra-ordered"]
+    assert inj.stats["partition_dropped"] == 2
+    assert inj.stats["partitions"] == 1
+    assert inj.stats["partitions_healed"] == 1
+
+
+def test_partition_validates():
+    with pytest.raises(ValueError, match="duration"):
+        Partition(time_us=1.0, duration_us=0.0, a=(0,), b=(1,))
+    with pytest.raises(ValueError, match="both node sets"):
+        Partition(time_us=1.0, duration_us=5.0, a=(0,), b=())
+    with pytest.raises(ValueError, match="overlap"):
+        Partition(time_us=1.0, duration_us=5.0, a=(0, 1), b=(1, 2))
+
+
+def test_spec_parse_partition_token():
+    spec = FaultSpec.parse("partition@t=40:dur=100:a=0+1:b=2+3")
+    assert spec.partitions == (
+        Partition(time_us=40.0, duration_us=100.0, a=(0, 1), b=(2, 3)),
+    )
+    assert not spec.is_noop
+
+
 def test_spec_parse_roundtrip():
     spec = FaultSpec.parse(
         "drop=0.3, dup=0.1, reorder=0.2, reorder_us=4.5, corrupt=0.05, crc=0,"
@@ -255,6 +305,10 @@ def test_spec_parse_roundtrip():
     "rail_fail@node=1",          # missing t
     "cq_stall@t=3",              # missing dur
     "rail_fail@t=1:bogus=2",     # unknown option
+    "partition@t=1:a=0:b=1",     # missing dur
+    "partition@t=1:dur=5:a=0",   # missing set b
+    "partition@t=1:dur=5:a=0:b=0",   # overlapping sets
+    "partition@t=1:dur=5:a=0:b=1:x=2",  # unknown option
 ])
 def test_spec_parse_rejects(bad):
     with pytest.raises(ValueError):

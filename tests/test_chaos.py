@@ -30,6 +30,18 @@ def test_chaos_soak_holds_on_all_platforms():
             assert run["recovered_ops"] >= 1, f"{name}: no op survived a retransmit"
             ttr = run["time_to_recover_us"]
             assert ttr["n"] >= 1 and ttr["p50"] > 0.0, f"{name}: empty recovery log"
+    rep = record["replication"]
+    assert rep is not None, "soak must exercise the replication tier"
+    assert rep["correct"], "a replicated stream lost data across a failover"
+    assert rep["identical"], "warm failover is not deterministic"
+    assert rep["divergence_ok"], "split-brain: replica state diverged"
+    assert rep["overhead_ratio"] < 1.5, "healthy replication overhead blew up"
+    for name, block in rep["platforms"].items():
+        assert block["crash"]["failovers"] >= 1, f"{name}: crash never promoted"
+        assert block["crash"]["ttr_us"]["p95"] > 0.0, f"{name}: empty failover log"
+        for run in block["crash"]["runs"]:
+            assert run["correct"] == run["received"], (
+                f"{name}: corrupt payload delivered across the failover")
 
 
 @pytest.mark.parametrize("platform", list(PLATFORMS))
